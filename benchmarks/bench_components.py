@@ -1,0 +1,112 @@
+"""Component micro-benchmarks: the hot paths of every substrate.
+
+Classic pytest-benchmark measurements (many rounds) of the pieces the
+flow iterates: STA, SPT extraction, the embedding DP at several tree
+sizes and schemes, HPWL, the legalizer, and one router pass.
+"""
+
+import pytest
+
+from repro import FpgaArch, analyze, build_spt
+from repro.arch import LinearDelayModel
+from repro.bench.generator import CircuitSpec, generate_circuit
+from repro.core import (
+    EmbedderOptions,
+    FaninTreeEmbedder,
+    GridEmbeddingGraph,
+    LexScheme,
+    MaxArrivalScheme,
+)
+from repro.core.topology import FaninTree
+from repro.place import random_placement, total_wirelength
+from repro.route import route_design
+
+SPEC = CircuitSpec("bench", luts=400, inputs=30, outputs=30, ff_fraction=0.1, depth=9)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    netlist = generate_circuit(SPEC, scale=1.0)
+    arch = FpgaArch.min_square_for(netlist.num_logic_blocks, netlist.num_pads)
+    placement = random_placement(netlist, arch, seed=3)
+    return netlist, placement
+
+
+def test_sta_full_pass(benchmark, placed):
+    netlist, placement = placed
+    analysis = benchmark(analyze, netlist, placement)
+    assert analysis.critical_delay > 0
+
+
+def test_spt_extraction(benchmark, placed):
+    netlist, placement = placed
+    analysis = analyze(netlist, placement)
+    spt = benchmark(build_spt, netlist, analysis)
+    assert spt.sink_delay == pytest.approx(analysis.critical_delay)
+
+
+def test_hpwl_total(benchmark, placed):
+    netlist, placement = placed
+    wirelength = benchmark(total_wirelength, netlist, placement)
+    assert wirelength > 0
+
+
+@pytest.mark.parametrize("leaves", [2, 6, 12])
+def test_embedder_scaling_with_tree_size(benchmark, leaves):
+    model = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+    arch = FpgaArch(12, 12, delay_model=model)
+    graph = GridEmbeddingGraph(arch, include_pads=False)
+    tree = FaninTree()
+    nodes = [
+        tree.add_leaf(graph.vertex_at((1 + (i % 3), 1 + i)), arrival=0.0)
+        for i in range(leaves)
+    ]
+    while len(nodes) > 1:
+        nodes = [
+            tree.add_internal(nodes[i: i + 2], gate_delay=1.0)
+            for i in range(0, len(nodes) - 1, 2)
+        ] + (nodes[-1:] if len(nodes) % 2 else [])
+    tree.set_root(nodes[0], gate_delay=0.0, vertex=graph.vertex_at((11, 6)))
+
+    embedder = FaninTreeEmbedder(
+        graph, options=EmbedderOptions(max_labels_per_vertex=6)
+    )
+    result = benchmark(embedder.embed, tree)
+    assert len(result.root_front) >= 1
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [MaxArrivalScheme(), LexScheme(2), LexScheme(3), LexScheme(5), LexScheme(8)],
+    ids=["2d", "lex2", "lex3", "lex5", "lex8"],
+)
+def test_embedder_scheme_cost(benchmark, scheme):
+    model = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+    arch = FpgaArch(10, 10, delay_model=model)
+    graph = GridEmbeddingGraph(arch, include_pads=False)
+    tree = FaninTree()
+    leaves = [
+        tree.add_leaf(graph.vertex_at((1, 1 + i)), arrival=float(i % 3))
+        for i in range(6)
+    ]
+    mid1 = tree.add_internal(leaves[:3], gate_delay=1.0)
+    mid2 = tree.add_internal(leaves[3:], gate_delay=1.0)
+    top = tree.add_internal([mid1, mid2], gate_delay=1.0)
+    tree.set_root(top, gate_delay=0.0, vertex=graph.vertex_at((9, 5)))
+    embedder = FaninTreeEmbedder(
+        graph, scheme=scheme, options=EmbedderOptions(max_labels_per_vertex=6)
+    )
+    result = benchmark(embedder.embed, tree)
+    assert len(result.root_front) >= 1
+
+
+def test_router_single_pass(benchmark, placed):
+    netlist, placement = placed
+    result = benchmark.pedantic(
+        route_design,
+        args=(netlist, placement, 16),
+        kwargs={"max_iterations": 4},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total_wirelength > 0

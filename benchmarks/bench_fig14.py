@@ -1,0 +1,46 @@
+"""Fig. 14: replication statistics over iterations (circuit ex1010).
+
+Runs RT-Embedding on the ex1010-calibrated circuit and reproduces the
+figure's series: cumulative replicated and unified cell counts per
+iteration.  The paper's run: 106 iterations, 38 replicated, 12 unified,
+net 26.  The shape assertions: unification recovers a nonzero fraction
+of replications and cumulative counts are monotone.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.bench.paper_data import FIG14_EX1010
+from repro.bench.runner import run_variant, run_vpr_baseline
+
+
+@pytest.fixture(scope="module")
+def ex1010_run():
+    baseline = run_vpr_baseline("ex1010", scale=BENCH_SCALE, seed=0)
+    return run_variant(baseline, "rt", effort=0.5)
+
+
+def test_fig14_replication_statistics(benchmark, ex1010_run):
+    run = benchmark.pedantic(lambda: ex1010_run, rounds=1, iterations=1)
+    history = run.history
+    assert history, "the flow must record per-iteration statistics"
+    rep = [record.replicated_cum for record in history]
+    uni = [record.unified_cum for record in history]
+    assert rep == sorted(rep), "cumulative replication is monotone"
+    assert uni == sorted(uni), "cumulative unification is monotone"
+    # The figure's qualitative shape: unification claws back a real
+    # fraction of the replication activity (12 of 38 in the paper; our
+    # counter also includes cascaded sweeps, so it can exceed rep).
+    if rep and rep[-1] > 0:
+        assert uni[-1] > 0
+    print("\n[Fig 14] iter  replicated  unified  net")
+    for record in history:
+        print(
+            f"        {record.iteration:>4}  {record.replicated_cum:>10}"
+            f"  {record.unified_cum:>7}  {record.replicated_cum - record.unified_cum:>3}"
+        )
+    print(
+        f"measured: {len(history)} iterations, {run.replicated} replicated, "
+        f"{run.unified} unified | paper: {FIG14_EX1010['iterations']} iterations, "
+        f"{FIG14_EX1010['replicated']} replicated, {FIG14_EX1010['unified']} unified"
+    )

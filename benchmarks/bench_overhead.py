@@ -1,0 +1,30 @@
+"""Section VII runtime claim: replication costs < 5% of the VPR flow.
+
+Measures the replication flow's wall time against the place+route time
+of the baseline.  Our Python embedder is relatively slower than the
+paper's C implementation against our Python placer/router, so the shape
+assertion is a loose multiple — the harness prints the measured ratio
+next to the paper's claim.
+"""
+
+import pytest
+
+from benchmarks.conftest import baseline
+from repro.bench.paper_data import HEADLINE
+from repro.bench.runner import run_variant
+
+
+def test_runtime_overhead(benchmark):
+    def measure():
+        base = baseline("tseng")
+        variant = run_variant(base, "rt", effort=0.4)
+        return base.place_route_seconds, variant.seconds
+
+    place_route, optimize = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = optimize / place_route if place_route else 0.0
+    print(
+        f"\n[overhead] place+route {place_route:.2f}s, replication {optimize:.2f}s, "
+        f"ratio {ratio:.2f} | paper claim: < {HEADLINE['runtime_fraction_of_vpr']:.2f}"
+        " (C embedder vs C place+route at full scale)"
+    )
+    assert optimize < place_route * 20, "flow must stay within sane bounds"

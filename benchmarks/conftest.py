@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` runs every table/figure
+regeneration at a small suite scale (fast, shape-preserving); the full
+harness with paper-vs-measured output is
+``python -m repro.bench.runner <experiment> --scale 0.12``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BaselineRun, run_vpr_baseline
+
+#: Scale for in-benchmark suite circuits: small enough that the whole
+#: benchmark run finishes in minutes, large enough that placements show
+#: the non-monotone critical paths the paper exploits.
+BENCH_SCALE = 0.05
+
+#: Circuits exercised inside pytest benchmarks (one small, one I/O-heavy,
+#: one large-class representative).
+BENCH_CIRCUITS = ("tseng", "dsip", "spla")
+
+_cache: dict[str, BaselineRun] = {}
+
+
+def baseline(name: str) -> BaselineRun:
+    """Place+route baseline, cached across benchmarks in one session."""
+    if name not in _cache:
+        _cache[name] = run_vpr_baseline(name, scale=BENCH_SCALE, seed=0)
+    return _cache[name]
+
+
+@pytest.fixture(scope="session")
+def tseng_baseline() -> BaselineRun:
+    return baseline("tseng")
+
+
+@pytest.fixture(scope="session")
+def dsip_baseline() -> BaselineRun:
+    return baseline("dsip")
+
+
+@pytest.fixture(scope="session")
+def spla_baseline() -> BaselineRun:
+    return baseline("spla")

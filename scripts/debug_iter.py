@@ -1,0 +1,54 @@
+"""Stage-by-stage trace of one flow iteration (debug helper)."""
+import sys
+from repro.bench.runner import run_vpr_baseline, replication_config
+from repro.core.flow import ReplicationOptimizer
+from repro.core.replication_tree import build_replication_tree
+from repro.core.extraction import apply_embedding
+from repro.core.unification import postprocess_unification
+from repro.place.legalizer import TimingDrivenLegalizer
+from repro.timing import analyze, build_spt
+
+name = sys.argv[1] if len(sys.argv) > 1 else 'apex4'
+scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.06
+b = run_vpr_baseline(name, scale=scale, seed=0)
+nl, pl = b.netlist.clone(), b.placement.copy()
+cfg = replication_config('rt', 1.0)
+opt = ReplicationOptimizer(nl, pl, cfg)
+analysis = analyze(nl, pl)
+sink = analysis.critical_endpoint
+print('crit %.2f sink %s' % (analysis.critical_delay, sink))
+spt = build_spt(nl, analysis, sink)
+info = build_replication_tree(nl, pl, opt.graph, analysis, spt, 0.0, cfg)
+picked = opt._embed_and_pick(info, analysis, analysis.critical_delay, False)
+emb, label = picked
+print('picked cost %.1f primary %.2f' % (label.cost, emb.scheme.primary(label.key)))
+out = apply_embedding(nl, pl, opt.graph, info, emb, label)
+a2 = analyze(nl, pl)
+print('after apply  crit %.2f sink %.2f rep %d overfull %d' % (
+    a2.critical_delay, a2.endpoint_arrival.get(sink, -1), len(out.replicated), len(pl.overfull_slots())))
+uni = postprocess_unification(nl, pl, aggressive=True)
+a3 = analyze(nl, pl)
+print('after unify  crit %.2f sink %.2f moved %d retired %d' % (
+    a3.critical_delay, a3.endpoint_arrival.get(sink, -1), uni.moved_pins, len(uni.retired)))
+leg = TimingDrivenLegalizer(nl, pl, alpha=0.95)
+orig = leg._ripple
+origd = leg._direct_move
+def spy_r(path, result):
+    before = analyze(nl, pl).critical_delay
+    orig(path, result)
+    after = analyze(nl, pl).critical_delay
+    if after > before + 1e-9:
+        print('  RIPPLE strict=%s %s crit %.2f->%.2f' % (leg._strict, path, before, after))
+def spy_d(analysis, congested, result):
+    before = analyze(nl, pl).critical_delay
+    ok = origd(analysis, congested, result)
+    after = analyze(nl, pl).critical_delay
+    if after > before + 1e-9:
+        print('  DIRECT %s crit %.2f->%.2f' % (congested, before, after))
+    return ok
+leg._ripple = spy_r
+leg._direct_move = spy_d
+res = leg.legalize()
+a4 = analyze(nl, pl)
+print('after legal  crit %.2f sink %.2f ripples %d unif %d legal %s' % (
+    a4.critical_delay, a4.endpoint_arrival.get(sink, -1), res.ripple_moves, len(res.unifications), pl.is_legal()))

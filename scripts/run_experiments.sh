@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerate every table/figure at the given scale (default 0.08) and
+# store the outputs under results/.
+set -x
+SCALE=${1:-0.08}
+EFFORT=${2:-0.7}
+python -m repro.bench.runner table1 --scale $SCALE > results/table1.txt 2>&1
+python -m repro.bench.runner table2 --scale $SCALE --effort $EFFORT > results/table2.txt 2>&1
+python -m repro.bench.runner table3 --scale $SCALE --effort 0.5 --circuits tseng,apex4,dsip,seq,spla,ex1010 > results/table3.txt 2>&1
+python -m repro.bench.runner fig14 --scale 0.1 --effort $EFFORT > results/fig14.txt 2>&1
+python -m repro.bench.runner overhead --scale $SCALE --circuits tseng,apex4,dsip > results/overhead.txt 2>&1

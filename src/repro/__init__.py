@@ -1,0 +1,84 @@
+"""repro: placement-coupled timing-driven logic replication for FPGAs.
+
+A complete reimplementation of Hrkic, Lillis & Beraudo, *An Approach to
+Placement-Coupled Logic Replication* (DAC 2004 / IEEE TCAD 2006),
+including every substrate the paper depends on: a LUT/FF netlist model,
+an island-style FPGA architecture, static timing analysis, a VPR-style
+timing-driven simulated-annealing placer, a PathFinder-style
+timing-driven router for post-route evaluation, the optimal fanin-tree
+embedding DP, the replication tree, Lex-N/Lex-mc reconvergence-aware
+variants, a timing-driven legalizer, and the local-replication baseline
+the paper compares against.
+
+Quick start::
+
+    from repro import optimize_replication, place_timing_driven, analyze
+    from repro.bench import suite_circuit
+
+    netlist, arch = suite_circuit("tseng", scale=0.1)
+    placement, _ = place_timing_driven(netlist, arch, seed=1)
+    before = analyze(netlist, placement).critical_delay
+    result = optimize_replication(netlist, placement)
+    print(before, "->", result.final_delay)
+"""
+
+from repro.arch import ElmoreDelayModel, FpgaArch, LinearDelayModel
+from repro.core import (
+    EmbedderOptions,
+    FaninTree,
+    FaninTreeEmbedder,
+    GridEmbeddingGraph,
+    LexMcScheme,
+    LexScheme,
+    MaxArrivalScheme,
+    OptimizationResult,
+    ReplicationConfig,
+    ReplicationOptimizer,
+    optimize_replication,
+    scheme_by_name,
+)
+from repro.netlist import Netlist, check_equivalence, validate_netlist
+from repro.place import (
+    Placement,
+    legalize_placement,
+    place_timing_driven,
+    place_wirelength_driven,
+    total_wirelength,
+)
+from repro.route import route_infinite, route_low_stress, routed_critical_delay
+from repro.timing import analyze, build_spt, delay_lower_bound
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElmoreDelayModel",
+    "EmbedderOptions",
+    "FaninTree",
+    "FaninTreeEmbedder",
+    "FpgaArch",
+    "GridEmbeddingGraph",
+    "LexMcScheme",
+    "LexScheme",
+    "LinearDelayModel",
+    "MaxArrivalScheme",
+    "Netlist",
+    "OptimizationResult",
+    "Placement",
+    "ReplicationConfig",
+    "ReplicationOptimizer",
+    "analyze",
+    "build_spt",
+    "check_equivalence",
+    "delay_lower_bound",
+    "legalize_placement",
+    "optimize_replication",
+    "place_timing_driven",
+    "place_wirelength_driven",
+    "route_infinite",
+    "route_low_stress",
+    "routed_critical_delay",
+    "scheme_by_name",
+    "total_wirelength",
+    "validate_netlist",
+    "__version__",
+]

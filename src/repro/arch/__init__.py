@@ -1,0 +1,6 @@
+"""FPGA architecture substrate: grid model and delay models."""
+
+from repro.arch.delay import ElmoreDelayModel, LinearDelayModel
+from repro.arch.fpga import FpgaArch, Slot
+
+__all__ = ["ElmoreDelayModel", "FpgaArch", "LinearDelayModel", "Slot"]

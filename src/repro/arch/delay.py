@@ -1,0 +1,93 @@
+"""Delay models.
+
+Section II-B: "For the target FPGA architecture under consideration, all
+the switches are buffered and interconnect resources are uniform.  As a
+result, RC effects are localized and thus the interconnect delay is
+reasonably approximated by a linear function of the Manhattan length of
+the interconnect."  :class:`LinearDelayModel` implements exactly that —
+an intrinsic per-hop/switch delay plus a per-unit-length term — and is
+used everywhere in the FPGA flow.
+
+Section II-D sketches how the embedder generalizes to the Elmore model
+for ASIC-style targets; :class:`ElmoreDelayModel` provides the RC
+parameters for the 3-D signature variant
+(:class:`repro.core.signatures.ElmoreSignature`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinearDelayModel:
+    """Linear interconnect delay + fixed logic delays.
+
+    All delays are in nanoseconds, loosely calibrated to the 0.35 um
+    4-LUT architecture of VPR's timing-driven flow [18] so Table I
+    critical paths land in the same tens-of-ns range as the paper.
+
+    Attributes:
+        wire_delay_per_unit: Delay per unit of Manhattan distance.
+        connection_delay: Fixed per-connection (switch/buffer) delay,
+            charged once per source->sink connection of nonzero length.
+        lut_delay: Intrinsic LUT delay.
+        ff_clk_to_q: FF clock-to-output delay (launch overhead).
+        ff_setup: FF setup time (capture overhead).
+        pad_delay: I/O pad delay.
+    """
+
+    wire_delay_per_unit: float = 0.35
+    connection_delay: float = 0.25
+    lut_delay: float = 0.80
+    ff_clk_to_q: float = 0.30
+    ff_setup: float = 0.20
+    pad_delay: float = 0.50
+
+    def wire_delay(self, distance: float) -> float:
+        """Interconnect delay of a connection of Manhattan length ``distance``."""
+        if distance <= 0:
+            return 0.0
+        return self.connection_delay + self.wire_delay_per_unit * distance
+
+    def cell_delay(self, is_lut: bool) -> float:
+        """Intrinsic input-to-output delay of a logic cell."""
+        return self.lut_delay if is_lut else 0.0
+
+    def launch_delay(self, is_ff: bool) -> float:
+        """Delay charged when a signal launches from a start point."""
+        return self.ff_clk_to_q if is_ff else self.pad_delay
+
+    def capture_delay(self, is_ff: bool) -> float:
+        """Delay charged when a signal is captured at an end point."""
+        return self.ff_setup if is_ff else self.pad_delay
+
+
+@dataclass(frozen=True)
+class ElmoreDelayModel:
+    """RC parameters for Elmore-delay embedding (Section II-D).
+
+    Attributes:
+        unit_resistance: Wire resistance per unit length (ohm/unit).
+        unit_capacitance: Wire capacitance per unit length (fF/unit).
+        driver_resistance: Gate output resistance R_out (ohm).
+        gate_delay: Intrinsic gate delay added at each internal node (ns).
+        load_capacitance: Input pin capacitance of a gate (fF).
+    """
+
+    unit_resistance: float = 0.1
+    unit_capacitance: float = 0.2
+    driver_resistance: float = 1.0
+    gate_delay: float = 0.5
+    load_capacitance: float = 0.05
+
+    def segment_delay(self, upstream_resistance: float, length: float = 1.0) -> float:
+        """Elmore delay of a wire segment: ``c_uv * (R(u) + r_uv / 2)``.
+
+        ``upstream_resistance`` is the cumulative resistance up to and
+        including the driving gate's output resistance, as in the paper's
+        formula.
+        """
+        r_uv = self.unit_resistance * length
+        c_uv = self.unit_capacitance * length
+        return c_uv * (upstream_resistance + r_uv / 2.0)

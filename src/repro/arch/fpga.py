@@ -1,0 +1,149 @@
+"""Island-style FPGA architecture model.
+
+The paper's target (Section II-B, VII) is the VPR-era island-style FPGA:
+a ``W x H`` grid of configurable logic blocks (CLBs), a ring of I/O pads
+on the perimeter, uniform buffered routing.  We model:
+
+* **logic slots** — interior grid positions ``(x, y)`` with ``1 <= x <= W``
+  and ``1 <= y <= H``, each holding up to ``clb_capacity`` logic cells
+  (LUTs/FFs; the paper's experiments use capacity 1, i.e., one
+  LUT+FF pair per CLB, but hierarchical CLBs are supported — Section II-A
+  discusses multi-LUT CLBs explicitly);
+* **pad slots** — perimeter positions, each holding up to ``pads_per_slot``
+  I/O pads (VPR default: 2).
+
+Positions use the VPR convention that the pad ring occupies ``x`` or ``y``
+equal to 0 or ``W+1``/``H+1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch.delay import LinearDelayModel
+
+#: A grid position.
+Slot = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FpgaArch:
+    """An island-style FPGA of ``width`` x ``height`` logic slots.
+
+    Attributes:
+        width: Number of logic columns.
+        height: Number of logic rows.
+        lut_size: K of the K-input LUTs (the paper uses 4-LUTs).
+        clb_capacity: Logic cells per CLB slot.
+        pads_per_slot: I/O pads per perimeter position.
+        delay_model: Interconnect/logic delay model (Section II-B).
+    """
+
+    width: int
+    height: int
+    lut_size: int = 4
+    clb_capacity: int = 1
+    pads_per_slot: int = 2
+    delay_model: LinearDelayModel = field(default_factory=LinearDelayModel)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("FPGA must be at least 1x1")
+
+    # ------------------------------------------------------------------
+    # Slot enumeration
+    # ------------------------------------------------------------------
+
+    def logic_slots(self) -> list[Slot]:
+        """All interior (CLB) positions, row-major."""
+        return [
+            (x, y)
+            for y in range(1, self.height + 1)
+            for x in range(1, self.width + 1)
+        ]
+
+    def pad_slots(self) -> list[Slot]:
+        """All perimeter (I/O) positions, clockwise from (1, 0)."""
+        slots: list[Slot] = []
+        slots.extend((x, 0) for x in range(1, self.width + 1))
+        slots.extend((self.width + 1, y) for y in range(1, self.height + 1))
+        slots.extend((x, self.height + 1) for x in range(self.width, 0, -1))
+        slots.extend((0, y) for y in range(self.height, 0, -1))
+        return slots
+
+    def is_logic_slot(self, slot: Slot) -> bool:
+        x, y = slot
+        return 1 <= x <= self.width and 1 <= y <= self.height
+
+    def is_pad_slot(self, slot: Slot) -> bool:
+        x, y = slot
+        on_x_ring = x in (0, self.width + 1) and 1 <= y <= self.height
+        on_y_ring = y in (0, self.height + 1) and 1 <= x <= self.width
+        return on_x_ring or on_y_ring
+
+    def slot_capacity(self, slot: Slot) -> int:
+        """Cell capacity of a position (0 if off-chip)."""
+        if self.is_logic_slot(slot):
+            return self.clb_capacity
+        if self.is_pad_slot(slot):
+            return self.pads_per_slot
+        return 0
+
+    @property
+    def num_logic_slots(self) -> int:
+        return self.width * self.height
+
+    @property
+    def logic_capacity(self) -> int:
+        return self.num_logic_slots * self.clb_capacity
+
+    @property
+    def pad_capacity(self) -> int:
+        return len(self.pad_slots()) * self.pads_per_slot
+
+    # ------------------------------------------------------------------
+    # Geometry and delay
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def distance(a: Slot, b: Slot) -> int:
+        """Rectilinear (Manhattan) distance between two positions."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def wire_delay(self, a: Slot, b: Slot) -> float:
+        """Point-to-point interconnect delay estimate (Section II-B)."""
+        return self.delay_model.wire_delay(self.distance(a, b))
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def min_square_for(
+        cls,
+        num_logic_blocks: int,
+        num_pads: int,
+        **kwargs: object,
+    ) -> "FpgaArch":
+        """Smallest square FPGA fitting the design (Section VII protocol).
+
+        The paper places each circuit "on the minimum square FPGA able to
+        contain the circuit"; the side must satisfy both the logic
+        capacity and the perimeter pad capacity.
+        """
+        clb_capacity = int(kwargs.get("clb_capacity", 1))
+        pads_per_slot = int(kwargs.get("pads_per_slot", 2))
+        side = max(1, math.ceil(math.sqrt(num_logic_blocks / clb_capacity)))
+        while side * side * clb_capacity < num_logic_blocks or (
+            4 * side * pads_per_slot < num_pads
+        ):
+            side += 1
+        return cls(width=side, height=side, **kwargs)  # type: ignore[arg-type]
+
+    def density(self, num_logic_blocks: int) -> float:
+        """Design density: utilized logic over available logic capacity."""
+        return num_logic_blocks / self.logic_capacity
+
+    def __str__(self) -> str:
+        return f"{self.width} x {self.height}"

@@ -1,0 +1,9 @@
+"""Baseline algorithms the paper compares against."""
+
+from repro.baselines.local_replication import (
+    LocalReplicationResult,
+    best_of_runs,
+    local_replication,
+)
+
+__all__ = ["LocalReplicationResult", "best_of_runs", "local_replication"]

@@ -1,0 +1,181 @@
+"""Local replication baseline (Beraudo & Lillis, DAC 2003 — ref [1]).
+
+The comparison algorithm of Section VII: examine the current critical
+path, find cells that break *local monotonicity* — windows
+``(v1, v2, v3)`` with ``d(v1, v3) < d(v1, v2) + d(v2, v3)`` — replicate
+such a cell, place the duplicate so the critical window straightens,
+perform fanout partitioning (the critical consumer moves to the
+duplicate) and legalize.  The algorithm is randomized in its candidate
+choice; the paper runs it three times and keeps the best result
+(:func:`best_of_runs`).
+
+Its structural weakness is exactly Fig. 3: a globally non-monotone path
+whose length-3 windows are all monotone offers no candidates, so the
+algorithm stalls where RT-Embedding does not — our Fig. 3 bench
+demonstrates this.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.arch.fpga import Slot
+from repro.netlist.netlist import Netlist
+from repro.place.legalizer import TimingDrivenLegalizer
+from repro.place.placement import Placement
+from repro.timing.monotonicity import locally_nonmonotone_cells
+from repro.timing.sta import analyze
+
+
+@dataclass
+class LocalReplicationResult:
+    """Outcome of one local-replication run."""
+
+    netlist: Netlist
+    placement: Placement
+    initial_delay: float
+    final_delay: float
+    replicated: int = 0
+    iterations: int = 0
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_delay <= 0:
+            return 0.0
+        return 1.0 - self.final_delay / self.initial_delay
+
+
+def local_replication(
+    netlist: Netlist,
+    placement: Placement,
+    seed: int = 0,
+    max_iterations: int = 60,
+    patience: int = 5,
+) -> LocalReplicationResult:
+    """Run the incremental local-replication heuristic in place."""
+    rng = random.Random(seed)
+    analysis = analyze(netlist, placement)
+    initial_delay = analysis.critical_delay
+    best_delay = initial_delay
+    best_netlist = netlist.clone()
+    best_placement = placement.copy()
+    replicated = 0
+    stall = 0
+    iterations = 0
+
+    for _ in range(max_iterations):
+        iterations += 1
+        analysis = analyze(netlist, placement)
+        path = analysis.critical_path()
+        candidates = [
+            cid
+            for cid in locally_nonmonotone_cells(placement, path)
+            if netlist.cells[cid].is_lut
+        ]
+        if not candidates:
+            break
+        victim = rng.choice(candidates)
+        index = path.index(victim)
+        before_cell, after_cell = path[index - 1], path[index + 1]
+        target = _free_slot_near_midpoint(
+            placement, placement.slot_of(before_cell), placement.slot_of(after_cell)
+        )
+        if target is None:
+            break  # out of free slots
+
+        snapshot_nl = netlist.clone()
+        snapshot_pl = placement.copy()
+
+        replica = netlist.replicate_cell(victim)
+        placement.place(replica, target)
+        # Fanout partitioning: the critical consumer takes the replica.
+        pins = [
+            (cid, pin) for cid, pin in netlist.fanout_pins(victim) if cid == after_cell
+        ]
+        assert replica.output is not None
+        for pin in pins:
+            netlist.move_sink(pin, replica.output)
+        TimingDrivenLegalizer(netlist, placement).legalize()
+        netlist.sweep_redundant([victim])
+        placement.prune_to(netlist)
+
+        new_delay = analyze(netlist, placement).critical_delay
+        if new_delay < best_delay - 1e-9:
+            best_delay = new_delay
+            best_netlist = netlist.clone()
+            best_placement = placement.copy()
+            replicated += 1
+            stall = 0
+        else:
+            # Revert the speculative replication.
+            _restore(netlist, snapshot_nl)
+            _restore_placement(placement, snapshot_pl)
+            stall += 1
+            if stall > patience:
+                break
+
+    _restore(netlist, best_netlist)
+    _restore_placement(placement, best_placement)
+    return LocalReplicationResult(
+        netlist=netlist,
+        placement=placement,
+        initial_delay=initial_delay,
+        final_delay=best_delay,
+        replicated=replicated,
+        iterations=iterations,
+    )
+
+
+def best_of_runs(
+    netlist: Netlist,
+    placement: Placement,
+    runs: int = 3,
+    seed: int = 0,
+    max_iterations: int = 60,
+) -> LocalReplicationResult:
+    """Section VII-A protocol: "we ran it three times and took the best"."""
+    best: LocalReplicationResult | None = None
+    for attempt in range(runs):
+        trial_nl = netlist.clone()
+        trial_pl = placement.copy()
+        result = local_replication(
+            trial_nl, trial_pl, seed=seed + attempt, max_iterations=max_iterations
+        )
+        if best is None or result.final_delay < best.final_delay - 1e-9:
+            best = result
+    assert best is not None
+    _restore(netlist, best.netlist)
+    _restore_placement(placement, best.placement)
+    best.netlist = netlist
+    best.placement = placement
+    return best
+
+
+def _free_slot_near_midpoint(
+    placement: Placement, a: Slot, b: Slot
+) -> Slot | None:
+    """Closest free logic slot to the midpoint of two locations."""
+    mid = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+    free = placement.free_logic_slots()
+    if not free:
+        return None
+    return min(
+        free,
+        key=lambda slot: (abs(slot[0] - mid[0]) + abs(slot[1] - mid[1]), slot),
+    )
+
+
+def _restore(target: Netlist, source: Netlist) -> None:
+    clone = source.clone()
+    target.cells = clone.cells
+    target.nets = clone.nets
+    target._next_cell_id = clone._next_cell_id
+    target._next_net_id = clone._next_net_id
+    target._names = clone._names
+
+
+def _restore_placement(target: Placement, source: Placement) -> None:
+    copy = source.copy()
+    target._slot_of = copy._slot_of
+    target._cells_at = copy._cells_at

@@ -1,0 +1,18 @@
+"""Benchmark suite: MCNC-calibrated circuits, runners, paper data.
+
+The runner is intentionally *not* re-exported here: ``python -m
+repro.bench.runner`` executes the module as ``__main__`` and importing it
+from the package initializer would trigger Python's double-import
+warning.  Import it explicitly: ``from repro.bench import runner``.
+"""
+
+from repro.bench.generator import CircuitSpec, generate_circuit
+from repro.bench.suite import SUITE_SPECS, suite_circuit, suite_names
+
+__all__ = [
+    "CircuitSpec",
+    "SUITE_SPECS",
+    "generate_circuit",
+    "suite_circuit",
+    "suite_names",
+]

@@ -1,0 +1,144 @@
+"""Canonical circuit families for tests, ablations and stress cases.
+
+Unlike :mod:`repro.bench.generator` (statistics-calibrated random
+networks), these are *structured* families with known analytic
+properties, used to probe specific flow behaviours:
+
+* :func:`chain` — a LUT pipeline: unique critical path, no reconvergence;
+* :func:`comb_tree` — a balanced fanin tree: the embedder's home turf;
+* :func:`butterfly` — an FFT-style butterfly: maximal reconvergence,
+  the Lex-N stress case;
+* :func:`mesh` — nearest-neighbour mesh: placement-friendly, replication
+  should find little;
+* :func:`fanout_star` — one driver, many endpoints: fanout-partitioning
+  stress (the [14]-style scenario);
+* :func:`shift_register` — an FF chain: every path register-bounded, the
+  FF-relocation stress case.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netlist.cells import Cell
+from repro.netlist.netlist import Netlist
+
+#: 2-input XOR truth table (balanced, never constant under stuck inputs).
+XOR2 = 0b0110
+#: 2-input NAND.
+NAND2 = 0b0111
+#: 1-input inverter.
+NOT1 = 0b01
+
+
+def chain(length: int = 8) -> Netlist:
+    """PI -> LUT^length -> PO."""
+    netlist = Netlist(f"chain{length}")
+    previous: Cell = netlist.add_input("in")
+    for index in range(length):
+        gate = netlist.add_lut(f"g{index}", 1, NOT1)
+        netlist.connect(previous, gate, 0)
+        previous = gate
+    netlist.connect(previous, netlist.add_output("out"), 0)
+    return netlist
+
+
+def comb_tree(depth: int = 3) -> Netlist:
+    """A balanced 2-ary fanin tree with 2**depth leaves and one PO."""
+    netlist = Netlist(f"tree{depth}")
+    level: list[Cell] = [netlist.add_input(f"in{i}") for i in range(1 << depth)]
+    stage = 0
+    while len(level) > 1:
+        nxt: list[Cell] = []
+        for i in range(0, len(level), 2):
+            gate = netlist.add_lut(f"t{stage}_{i // 2}", 2, XOR2)
+            netlist.connect(level[i], gate, 0)
+            netlist.connect(level[i + 1], gate, 1)
+            nxt.append(gate)
+        level = nxt
+        stage += 1
+    netlist.connect(level[0], netlist.add_output("out"), 0)
+    return netlist
+
+
+def butterfly(stages: int = 3) -> Netlist:
+    """An FFT butterfly: 2**stages rails, full reconvergence everywhere."""
+    width = 1 << stages
+    netlist = Netlist(f"butterfly{stages}")
+    rail: list[Cell] = [netlist.add_input(f"in{i}") for i in range(width)]
+    for stage in range(stages):
+        distance = 1 << stage
+        nxt: list[Cell] = []
+        for i in range(width):
+            gate = netlist.add_lut(f"b{stage}_{i}", 2, XOR2)
+            netlist.connect(rail[i], gate, 0)
+            netlist.connect(rail[i ^ distance], gate, 1)
+            nxt.append(gate)
+        rail = nxt
+    for i, cell in enumerate(rail):
+        netlist.connect(cell, netlist.add_output(f"out{i}"), 0)
+    return netlist
+
+
+def mesh(rows: int = 4, cols: int = 4) -> Netlist:
+    """A systolic-style mesh: each node combines its N and W neighbours."""
+    netlist = Netlist(f"mesh{rows}x{cols}")
+    north = [netlist.add_input(f"n{c}") for c in range(cols)]
+    west = [netlist.add_input(f"w{r}") for r in range(rows)]
+    grid: list[list[Cell]] = []
+    for r in range(rows):
+        row: list[Cell] = []
+        for c in range(cols):
+            gate = netlist.add_lut(f"m{r}_{c}", 2, NAND2)
+            netlist.connect(grid[r - 1][c] if r else north[c], gate, 0)
+            netlist.connect(row[c - 1] if c else west[r], gate, 1)
+            row.append(gate)
+        grid.append(row)
+    for c in range(cols):
+        netlist.connect(grid[rows - 1][c], netlist.add_output(f"s{c}"), 0)
+    for r in range(rows):
+        netlist.connect(grid[r][cols - 1], netlist.add_output(f"e{r}"), 0)
+    return netlist
+
+
+def fanout_star(sinks: int = 8) -> Netlist:
+    """One shared driver feeding many independent output branches."""
+    netlist = Netlist(f"star{sinks}")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    hub = netlist.add_lut("hub", 2, XOR2)
+    netlist.connect(a, hub, 0)
+    netlist.connect(b, hub, 1)
+    for i in range(sinks):
+        leaf = netlist.add_lut(f"leaf{i}", 1, NOT1)
+        netlist.connect(hub, leaf, 0)
+        netlist.connect(leaf, netlist.add_output(f"out{i}"), 0)
+    return netlist
+
+
+def shift_register(length: int = 6) -> Netlist:
+    """PI -> (LUT -> FF)^length -> PO: every path register-bounded."""
+    netlist = Netlist(f"shift{length}")
+    previous: Cell = netlist.add_input("in")
+    for index in range(length):
+        gate = netlist.add_lut(f"g{index}", 1, NOT1)
+        netlist.connect(previous, gate, 0)
+        ff = netlist.add_ff(f"ff{index}")
+        netlist.connect(gate, ff, 0)
+        previous = ff
+    netlist.connect(previous, netlist.add_output("out"), 0)
+    return netlist
+
+
+def random_family_instance(seed: int) -> Netlist:
+    """A deterministic pick across the families (for fuzz harnesses)."""
+    rng = random.Random(seed)
+    makers = [
+        lambda: chain(rng.randint(3, 10)),
+        lambda: comb_tree(rng.randint(2, 4)),
+        lambda: butterfly(rng.randint(2, 3)),
+        lambda: mesh(rng.randint(2, 4), rng.randint(2, 4)),
+        lambda: fanout_star(rng.randint(3, 10)),
+        lambda: shift_register(rng.randint(2, 6)),
+    ]
+    return makers[rng.randrange(len(makers))]()

@@ -1,0 +1,156 @@
+"""Synthetic circuit generator calibrated to MCNC statistics.
+
+The MCNC benchmark netlists are not redistributable here, so the suite
+(:mod:`repro.bench.suite`) is generated: layered K-LUT networks with the
+per-circuit LUT/IO/FF counts of Table I (scaled by a common factor), a
+configurable depth and reconvergence profile, and FF feedback for the
+sequential designs.  What matters for reproducing the paper is that the
+optimization *target* is preserved: dense placements of reconvergent
+LUT logic whose critical paths end up non-monotone — which this
+generator produces by construction (random multi-fanin sampling creates
+reconvergence; density comes from the min-square FPGA sizing).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.netlist.cells import Cell
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Recipe for one synthetic circuit.
+
+    Attributes:
+        name: Circuit name (matches the MCNC circuit it is calibrated to).
+        luts: Logic-block count at scale 1.0 (Table I's LUT column; for
+            sequential circuits a ``ff_fraction`` of these are FFs).
+        inputs: Primary-input count at scale 1.0.
+        outputs: Primary-output count at scale 1.0.
+        ff_fraction: Fraction of logic blocks that are FFs (0 for
+            combinational designs).
+        depth: Target combinational depth (layers of LUTs).
+        locality: Probability a LUT input comes from the previous layer
+            (vs a uniformly random earlier layer — long reconvergent
+            shortcuts).
+        seed: Base RNG seed (combined with the name for determinism).
+    """
+
+    name: str
+    luts: int
+    inputs: int
+    outputs: int
+    ff_fraction: float = 0.0
+    depth: int = 10
+    locality: float = 0.7
+    seed: int = 0
+
+
+def generate_circuit(
+    spec: CircuitSpec, scale: float = 1.0, lut_size: int = 4
+) -> Netlist:
+    """Generate a deterministic netlist for ``spec`` at ``scale``."""
+    token = f"{spec.name}:{spec.seed}:{round(scale * 1e6)}"
+    rng = random.Random(zlib.crc32(token.encode()))
+    n_blocks = max(8, round(spec.luts * scale))
+    n_ffs = min(n_blocks - 4, round(n_blocks * spec.ff_fraction))
+    n_luts = n_blocks - n_ffs
+    # I/O shrinks with the square root of scale (Rent-style): a scaled
+    # design keeps a realistic number of timing end points.
+    io_scale = math.sqrt(scale) if scale < 1.0 else scale
+    total_io = max(4, round((spec.inputs + spec.outputs) * io_scale))
+    n_pis = max(2, round(total_io * spec.inputs / (spec.inputs + spec.outputs)))
+    n_pos = max(2, total_io - n_pis)
+    depth = max(3, min(spec.depth, n_luts))
+
+    netlist = Netlist(spec.name)
+    pis = [netlist.add_input(f"pi{i}") for i in range(n_pis)]
+    ffs = [netlist.add_ff(f"ff{i}") for i in range(n_ffs)]
+
+    # Distribute LUTs over layers with a mid-heavy profile.
+    weights = [1.0 + math.sin(math.pi * (l + 0.5) / depth) for l in range(depth)]
+    total_weight = sum(weights)
+    layer_sizes = [max(1, round(n_luts * w / total_weight)) for w in weights]
+    while sum(layer_sizes) > n_luts:
+        layer_sizes[layer_sizes.index(max(layer_sizes))] -= 1
+    while sum(layer_sizes) < n_luts:
+        layer_sizes[layer_sizes.index(min(layer_sizes))] += 1
+
+    layers: list[list[Cell]] = [list(pis) + list(ffs)]
+    needs_fanout: list[Cell] = []
+    for layer_index, size in enumerate(layer_sizes, start=1):
+        layer: list[Cell] = []
+        for i in range(size):
+            fanin = rng.randint(2, lut_size)
+            table = rng.randrange(1, (1 << (1 << fanin)) - 1)
+            lut = netlist.add_lut(f"l{layer_index}_{i}", fanin, table)
+            drivers = _pick_drivers(rng, layers, needs_fanout, fanin, spec.locality)
+            for pin, driver in enumerate(drivers):
+                netlist.connect(driver, lut, pin)
+            layer.append(lut)
+        needs_fanout.extend(layer)
+        layers.append(layer)
+
+    # Sinks: POs and FF D-inputs drain the remaining fanout-free cells,
+    # preferring the deepest ones (so outputs sit at the end of long
+    # paths, like real designs).
+    needs_fanout = [c for c in needs_fanout if netlist.fanout_count(c) == 0]
+    needs_fanout.reverse()  # deepest first
+    sinks: list[Cell] = [netlist.add_output(f"po{i}") for i in range(n_pos)] + ffs
+    spare_luts = [c for layer in layers[1:] for c in layer]
+    for sink in sinks:
+        if needs_fanout:
+            driver = needs_fanout.pop(0)
+        else:
+            driver = spare_luts[rng.randrange(len(spare_luts))]
+        netlist.connect(driver, sink, 0)
+
+    # Any remaining fanout-free LUTs are swept (small count drift that
+    # the tables report as measured values anyway).
+    netlist.sweep_redundant()
+    return netlist
+
+
+def _pick_drivers(
+    rng: random.Random,
+    layers: list[list[Cell]],
+    needs_fanout: list[Cell],
+    fanin: int,
+    locality: float,
+) -> list[Cell]:
+    """Choose distinct drivers, preferring fanout-starved recent cells."""
+    drivers: list[Cell] = []
+    chosen: set[int] = set()
+    # First pin: drain the needs-fanout pool when possible so almost
+    # every LUT ends up observable.
+    while needs_fanout and len(drivers) < 1:
+        candidate = needs_fanout.pop(0)
+        if candidate.cell_id not in chosen:
+            drivers.append(candidate)
+            chosen.add(candidate.cell_id)
+    attempts = 0
+    while len(drivers) < fanin and attempts < 50:
+        attempts += 1
+        if rng.random() < locality and len(layers) > 1:
+            pool = layers[-1]
+        else:
+            pool = layers[rng.randrange(len(layers))]
+        candidate = pool[rng.randrange(len(pool))]
+        if candidate.cell_id not in chosen:
+            drivers.append(candidate)
+            chosen.add(candidate.cell_id)
+    distinct_available = sum(len(layer) for layer in layers)
+    while len(drivers) < fanin:
+        pool = layers[0]
+        candidate = pool[rng.randrange(len(pool))]
+        if candidate.cell_id not in chosen:
+            drivers.append(candidate)
+            chosen.add(candidate.cell_id)
+        elif len(chosen) >= distinct_available:
+            drivers.append(candidate)  # tiny circuit: duplicate pin is legal
+    return drivers

@@ -1,0 +1,258 @@
+"""Benchmark runner: regenerates every table and figure of Section VII.
+
+Usage (CLI)::
+
+    python -m repro.bench.runner table1 --scale 0.08
+    python -m repro.bench.runner table2 --scale 0.08 --algorithms local,rt,lex-3
+    python -m repro.bench.runner table3 --scale 0.08
+    python -m repro.bench.runner fig14 --scale 0.10
+    python -m repro.bench.runner overhead --scale 0.08
+
+Every run prints measured values side by side with the paper's published
+numbers (from :mod:`repro.bench.paper_data`).  ``--scale`` shrinks the
+MCNC-calibrated circuits (1.0 = full Table I sizes; the default keeps a
+full-suite run tractable in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.fpga import FpgaArch
+from repro.baselines.local_replication import best_of_runs
+from repro.bench.suite import LARGE_CIRCUITS, suite_circuit, suite_names
+from repro.core.config import ReplicationConfig
+from repro.core.flow import OptimizationResult, optimize_replication
+from repro.core.signatures import scheme_by_name
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.place.timing_driven import place_timing_driven
+from repro.route.metrics import (
+    find_min_channel_width,
+    route_infinite,
+    route_low_stress,
+    routed_critical_delay,
+)
+
+#: Algorithm keys accepted by :func:`run_variant`.
+ALGORITHMS = ("local", "rt", "lex-mc", "lex-2", "lex-3", "lex-4", "lex-5")
+
+
+@dataclass
+class BaselineRun:
+    """Timing-driven-VPR-substitute baseline for one circuit (Table I)."""
+
+    name: str
+    netlist: Netlist
+    placement: Placement
+    arch: FpgaArch
+    w_inf: float
+    w_ls: float
+    wirelength: int
+    min_width: int
+    luts: int
+    ios: int
+    total_blocks: int
+    density: float
+    place_route_seconds: float
+
+
+@dataclass
+class VariantRun:
+    """One algorithm's results on one circuit, normalized to baseline."""
+
+    circuit: str
+    algorithm: str
+    w_inf: float
+    w_ls: float
+    wirelength: float
+    blocks: float
+    replicated: int = 0
+    unified: int = 0
+    seconds: float = 0.0
+    history: list = field(default_factory=list)
+
+
+def run_vpr_baseline(
+    name: str,
+    scale: float = 0.08,
+    seed: int = 0,
+    inner_scale: float = 0.25,
+) -> BaselineRun:
+    """Generate, place (timing-driven SA) and route one suite circuit."""
+    start = time.perf_counter()
+    netlist, arch = suite_circuit(name, scale=scale)
+    placement, _stats = place_timing_driven(
+        netlist, arch, seed=seed, inner_scale=inner_scale
+    )
+    min_width = find_min_channel_width(netlist, placement)
+    low = route_low_stress(netlist, placement, min_width=min_width)
+    infinite = route_infinite(netlist, placement)
+    elapsed = time.perf_counter() - start
+
+    w_ls = routed_critical_delay(netlist, placement, low).critical_delay
+    w_inf = routed_critical_delay(netlist, placement, infinite).critical_delay
+    return BaselineRun(
+        name=name,
+        netlist=netlist,
+        placement=placement,
+        arch=arch,
+        w_inf=w_inf,
+        w_ls=w_ls,
+        wirelength=low.total_wirelength,
+        min_width=min_width,
+        luts=netlist.num_logic_blocks,
+        ios=netlist.num_pads,
+        total_blocks=netlist.num_cells,
+        density=arch.density(netlist.num_logic_blocks),
+        place_route_seconds=elapsed,
+    )
+
+
+def replication_config(algorithm: str, effort: float = 1.0) -> ReplicationConfig:
+    """Config for one algorithm key at a relative effort level."""
+    scheme = scheme_by_name("rt" if algorithm == "rt" else algorithm)
+    return ReplicationConfig(
+        scheme=scheme,
+        max_iterations=max(6, int(40 * effort)),
+        patience=max(2, int(6 * effort)),
+        max_tree_nodes=max(12, int(48 * effort)),
+        max_labels_per_vertex=6,
+    )
+
+
+def run_variant(
+    baseline: BaselineRun,
+    algorithm: str,
+    effort: float = 1.0,
+    seed: int = 0,
+) -> VariantRun:
+    """Run one optimization algorithm against a baseline and re-route."""
+    netlist = baseline.netlist.clone()
+    placement = baseline.placement.copy()
+    start = time.perf_counter()
+    history: list = []
+    if algorithm == "local":
+        result = best_of_runs(netlist, placement, runs=3, seed=seed)
+        replicated, unified = result.replicated, 0
+    else:
+        opt: OptimizationResult = optimize_replication(
+            netlist, placement, replication_config(algorithm, effort)
+        )
+        replicated, unified = opt.total_replicated, opt.total_unified
+        history = opt.history
+    seconds = time.perf_counter() - start
+
+    low = route_low_stress(netlist, placement, min_width=baseline.min_width)
+    infinite = route_infinite(netlist, placement)
+    w_ls = routed_critical_delay(netlist, placement, low).critical_delay
+    w_inf = routed_critical_delay(netlist, placement, infinite).critical_delay
+    return VariantRun(
+        circuit=baseline.name,
+        algorithm=algorithm,
+        w_inf=w_inf / baseline.w_inf if baseline.w_inf else 1.0,
+        w_ls=w_ls / baseline.w_ls if baseline.w_ls else 1.0,
+        wirelength=(
+            low.total_wirelength / baseline.wirelength if baseline.wirelength else 1.0
+        ),
+        blocks=netlist.num_cells / baseline.total_blocks,
+        replicated=replicated,
+        unified=unified,
+        seconds=seconds,
+        history=history,
+    )
+
+
+def average(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def averages_by_size(runs: list[VariantRun]) -> dict[str, dict[str, float]]:
+    """Overall / small / large averages as in Table III."""
+    groups = {
+        "all": runs,
+        "small": [r for r in runs if r.circuit not in LARGE_CIRCUITS],
+        "large": [r for r in runs if r.circuit in LARGE_CIRCUITS],
+    }
+    return {
+        key: {
+            "w_inf": average([r.w_inf for r in group]),
+            "w_ls": average([r.w_ls for r in group]),
+            "wirelength": average([r.wirelength for r in group]),
+            "blocks": average([r.blocks for r in group]),
+        }
+        for key, group in groups.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench import tables
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "fig14", "overhead"],
+    )
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--effort", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--circuits", default="all", help="'all', 'small', 'large' or CSV names"
+    )
+    parser.add_argument(
+        "--algorithms",
+        default="local,rt,lex-3",
+        help=f"CSV of {ALGORITHMS} (table2/table3)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.circuits in ("all", "small", "large"):
+        names = suite_names(args.circuits)
+    else:
+        names = [token.strip() for token in args.circuits.split(",")]
+
+    if args.experiment == "table1":
+        baselines = [
+            run_vpr_baseline(name, scale=args.scale, seed=args.seed) for name in names
+        ]
+        print(tables.format_table1(baselines, scale=args.scale))
+    elif args.experiment in ("table2", "table3"):
+        algorithms = [token.strip() for token in args.algorithms.split(",")]
+        if args.experiment == "table3" and args.algorithms == "local,rt,lex-3":
+            algorithms = ["rt", "lex-mc", "lex-2", "lex-3", "lex-4", "lex-5"]
+        runs: dict[str, list[VariantRun]] = {alg: [] for alg in algorithms}
+        for name in names:
+            baseline = run_vpr_baseline(name, scale=args.scale, seed=args.seed)
+            for algorithm in algorithms:
+                runs[algorithm].append(
+                    run_variant(baseline, algorithm, effort=args.effort, seed=args.seed)
+                )
+        if args.experiment == "table2":
+            print(tables.format_table2(runs, scale=args.scale))
+        else:
+            print(tables.format_table3(runs, scale=args.scale))
+    elif args.experiment == "fig14":
+        baseline = run_vpr_baseline("ex1010", scale=args.scale, seed=args.seed)
+        run = run_variant(baseline, "rt", effort=args.effort, seed=args.seed)
+        print(tables.format_fig14(run, scale=args.scale))
+    elif args.experiment == "overhead":
+        total_pr = 0.0
+        total_opt = 0.0
+        for name in names:
+            baseline = run_vpr_baseline(name, scale=args.scale, seed=args.seed)
+            run = run_variant(baseline, "rt", effort=args.effort, seed=args.seed)
+            total_pr += baseline.place_route_seconds
+            total_opt += run.seconds
+        print(tables.format_overhead(total_opt, total_pr, scale=args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Table/figure formatting with paper-vs-measured columns."""
+
+from __future__ import annotations
+
+from repro.bench import paper_data
+from repro.bench.paper_data import TABLE1, TABLE2_LEX3, TABLE2_LOCAL, TABLE2_RT, TABLE3
+
+_PAPER_TABLE2 = {"local": TABLE2_LOCAL, "rt": TABLE2_RT, "lex-3": TABLE2_LEX3}
+_PAPER_TABLE3_KEYS = {
+    "rt": "RT-Embedding",
+    "lex-mc": "Lex-mc",
+    "lex-2": "Lex-2",
+    "lex-3": "Lex-3",
+    "lex-4": "Lex-4",
+    "lex-5": "Lex-5",
+}
+
+
+def _header(title: str, scale: float) -> str:
+    return (
+        f"\n=== {title} (suite scale {scale:g}; paper values from full-size"
+        " MCNC runs — compare shapes/ratios, not absolutes) ===\n"
+    )
+
+
+def format_table1(baselines, scale: float) -> str:
+    """Table I: baseline circuit data and timing-driven placement results."""
+    paper = {row.circuit: row for row in TABLE1}
+    lines = [_header("Table I: timing-driven VPR baseline", scale)]
+    lines.append(
+        f"{'circuit':<10} {'W_inf':>8} {'W_ls':>8} {'wire':>8} {'LUTs':>6} "
+        f"{'I/Os':>5} {'blk':>6} {'FPGA':>8} {'dens':>6} | "
+        f"{'paper W_inf':>11} {'paper blk':>9} {'paper dens':>10}"
+    )
+    for run in baselines:
+        p = paper[run.name]
+        lines.append(
+            f"{run.name:<10} {run.w_inf:>8.2f} {run.w_ls:>8.2f} "
+            f"{run.wirelength:>8d} {run.luts:>6d} {run.ios:>5d} "
+            f"{run.total_blocks:>6d} {str(run.arch):>8} {run.density:>6.3f} | "
+            f"{p.w_inf_ns:>11.2f} {p.total_blocks:>9d} {p.density:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(runs_by_algorithm: dict, scale: float) -> str:
+    """Table II: per-circuit results normalized to the VPR baseline."""
+    lines = [_header("Table II: normalized to timing-driven VPR", scale)]
+    for algorithm, runs in runs_by_algorithm.items():
+        paper = _PAPER_TABLE2.get(algorithm)
+        lines.append(f"\n--- {algorithm} ---")
+        lines.append(
+            f"{'circuit':<10} {'W_inf':>7} {'W_ls':>7} {'wire':>7} {'blk':>7}"
+            + (" | paper: W_inf  W_ls   wire    blk" if paper else "")
+        )
+        for run in runs:
+            row = (
+                f"{run.circuit:<10} {run.w_inf:>7.3f} {run.w_ls:>7.3f} "
+                f"{run.wirelength:>7.3f} {run.blocks:>7.3f}"
+            )
+            if paper and run.circuit in paper:
+                p = paper[run.circuit]
+                row += (
+                    f" |        {p.w_inf:>5.3f} {p.w_ls:>6.3f} "
+                    f"{p.wirelength:>6.3f} {p.blocks:>6.3f}"
+                )
+            lines.append(row)
+        lines.append(_averages_row(runs, paper))
+    return "\n".join(lines)
+
+
+def _averages_row(runs, paper) -> str:
+    from repro.bench.runner import average
+
+    avg = (
+        f"{'average':<10} {average([r.w_inf for r in runs]):>7.3f} "
+        f"{average([r.w_ls for r in runs]):>7.3f} "
+        f"{average([r.wirelength for r in runs]):>7.3f} "
+        f"{average([r.blocks for r in runs]):>7.3f}"
+    )
+    if paper:
+        rows = [paper[r.circuit] for r in runs if r.circuit in paper]
+        if rows:
+            avg += (
+                f" |        {average([p.w_inf for p in rows]):>5.3f} "
+                f"{average([p.w_ls for p in rows]):>6.3f} "
+                f"{average([p.wirelength for p in rows]):>6.3f} "
+                f"{average([p.blocks for p in rows]):>6.3f}"
+            )
+    return avg
+
+
+def format_table3(runs_by_algorithm: dict, scale: float) -> str:
+    """Table III: average improvements, overall and small/large split."""
+    from repro.bench.runner import averages_by_size
+
+    lines = [_header("Table III: average improvements", scale)]
+    lines.append(
+        f"{'algorithm':<14} {'group':<6} {'W_inf':>7} {'W_ls':>7} {'wire':>7} "
+        f"{'blk':>7} | {'paper W_inf':>11} {'paper W_ls':>10} {'paper wire':>10}"
+    )
+    for algorithm, runs in runs_by_algorithm.items():
+        grouped = averages_by_size(runs)
+        paper_row = TABLE3.get(_PAPER_TABLE3_KEYS.get(algorithm, ""))
+        for group in ("all", "small", "large"):
+            data = grouped[group]
+            row = (
+                f"{algorithm:<14} {group:<6} {data['w_inf']:>7.3f} "
+                f"{data['w_ls']:>7.3f} {data['wirelength']:>7.3f} "
+                f"{data['blocks']:>7.3f}"
+            )
+            if paper_row is not None:
+                if group == "all":
+                    p = (paper_row.w_inf, paper_row.w_ls, paper_row.wirelength)
+                elif group == "small":
+                    p = (
+                        paper_row.small_w_inf,
+                        paper_row.small_w_ls,
+                        paper_row.small_wirelength,
+                    )
+                else:
+                    p = (
+                        paper_row.large_w_inf,
+                        paper_row.large_w_ls,
+                        paper_row.large_wirelength,
+                    )
+                row += f" | {p[0]:>11.3f} {p[1]:>10.3f} {p[2]:>10.3f}"
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_fig14(run, scale: float) -> str:
+    """Fig. 14: cumulative replication statistics per iteration (ex1010)."""
+    paper = paper_data.FIG14_EX1010
+    lines = [_header("Fig. 14: replication statistics, circuit ex1010", scale)]
+    lines.append(f"{'iter':>5} {'replicated':>11} {'unified':>8} {'net':>5}")
+    for record in run.history:
+        lines.append(
+            f"{record.iteration:>5} {record.replicated_cum:>11} "
+            f"{record.unified_cum:>8} "
+            f"{record.replicated_cum - record.unified_cum:>5}"
+        )
+    lines.append(
+        f"\nmeasured: {len(run.history)} iterations, "
+        f"{run.replicated} replicated, {run.unified} unified, "
+        f"net {run.replicated - run.unified}"
+    )
+    lines.append(
+        f"paper:    {paper['iterations']} iterations, "
+        f"{paper['replicated']} replicated, {paper['unified']} unified, "
+        f"net {paper['net']}"
+    )
+    return "\n".join(lines)
+
+
+def format_overhead(opt_seconds: float, place_route_seconds: float, scale: float) -> str:
+    """Section VII runtime claim: replication under 5% of the VPR flow."""
+    ratio = opt_seconds / place_route_seconds if place_route_seconds else 0.0
+    lines = [_header("Runtime overhead", scale)]
+    lines.append(f"place+route (baseline): {place_route_seconds:9.2f} s")
+    lines.append(f"replication flow:       {opt_seconds:9.2f} s")
+    lines.append(f"ratio:                  {ratio:9.3f}")
+    lines.append(
+        f"paper claim:            < {paper_data.HEADLINE['runtime_fraction_of_vpr']:.2f}"
+        " of the place-and-route flow"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Core contribution: fanin-tree embedding and the replication tree."""
+
+from repro.core.config import ReplicationConfig
+from repro.core.embedder import (
+    EmbedderOptions,
+    EmbeddingResult,
+    FaninTreeEmbedder,
+    zero_placement_cost,
+)
+from repro.core.embedding_graph import BLOCKED, Edge, EmbeddingGraph, GridEmbeddingGraph
+from repro.core.extraction import ApplyResult, apply_embedding
+from repro.core.flow import (
+    IterationRecord,
+    OptimizationResult,
+    ReplicationOptimizer,
+    optimize_replication,
+)
+from repro.core.replication_tree import (
+    ReplicationTreeInfo,
+    build_replication_tree,
+    make_placement_cost,
+    select_tree_cells,
+)
+from repro.core.signatures import (
+    DelayScheme,
+    LexMcScheme,
+    LexScheme,
+    MaxArrivalScheme,
+    QuadraticWireScheme,
+    scheme_by_name,
+)
+from repro.core.solutions import (
+    BitAwareFront,
+    Label,
+    ParetoFront,
+    PartialOrderFront,
+    StaircaseFront,
+    make_front,
+)
+from repro.core.topology import FaninTree, TreeNode
+from repro.core.unification import UnificationResult, postprocess_unification
+
+__all__ = [
+    "ApplyResult",
+    "BLOCKED",
+    "BitAwareFront",
+    "DelayScheme",
+    "Edge",
+    "EmbedderOptions",
+    "EmbeddingGraph",
+    "EmbeddingResult",
+    "FaninTree",
+    "FaninTreeEmbedder",
+    "GridEmbeddingGraph",
+    "IterationRecord",
+    "Label",
+    "LexMcScheme",
+    "LexScheme",
+    "MaxArrivalScheme",
+    "OptimizationResult",
+    "ParetoFront",
+    "PartialOrderFront",
+    "QuadraticWireScheme",
+    "ReplicationConfig",
+    "ReplicationOptimizer",
+    "ReplicationTreeInfo",
+    "StaircaseFront",
+    "TreeNode",
+    "UnificationResult",
+    "apply_embedding",
+    "build_replication_tree",
+    "make_front",
+    "make_placement_cost",
+    "optimize_replication",
+    "postprocess_unification",
+    "scheme_by_name",
+    "select_tree_cells",
+    "zero_placement_cost",
+]

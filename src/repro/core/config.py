@@ -1,0 +1,82 @@
+"""Configuration for the replication optimization flow (Sections IV-VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.signatures import DelayScheme, MaxArrivalScheme
+
+
+@dataclass
+class ReplicationConfig:
+    """Tuning knobs of the optimizer; defaults follow the paper.
+
+    Attributes:
+        scheme: Embedding signature variant (RT-Embedding, Lex-N, Lex-mc).
+        max_iterations: Upper bound on main-loop iterations.
+        patience: Consecutive non-improving iterations tolerated before
+            stopping (each one also grows ε, Section V-B).
+        epsilon_step_fraction: ε growth per non-improvement, as a fraction
+            of the current critical delay.
+        max_tree_nodes: Cap on ε-SPT cells admitted to one replication
+            tree (trees in the paper range "up to almost a thousand
+            cells"; the cap keeps worst-case embeddings bounded).
+        cost_free: Congestion cost of an empty logic slot.
+        cost_occupied: Congestion cost of a full slot (the critical tree
+            may still use it — "the critical tree should be able to get
+            the best real-estate", Section II-A — but it prices the
+            legalizer work it will cause).
+        cost_occupied_critical: Congestion cost of a full slot whose
+            occupants are all near-critical: displacing them would create
+            a new critical path, so such slots are nearly off-limits.
+        cost_replication: Replication-overhead component, charged unless
+            the slot holds an equivalent cell (implicit unification) or
+            the cell has fanout one ("we still replicate, but all
+            placement locations receive a discounted cost, since no
+            actual replication will ever occur", Section III).
+        cost_equivalent: Total cost of a slot holding a logically
+            equivalent cell (Section III's discount; normally 0).
+        wire_cost_per_unit: Embedding-graph edge cost per unit length.
+        delay_bound_slack: Embedder labels slower than
+            ``(1 + slack) * current critical delay`` are pruned.
+        max_labels_per_vertex: Front-size cap inside the embedder
+            (0 = unlimited).
+        max_cohabiting_children: Overlap control (Section II-A approach
+            1); ``None`` = allow overlap and legalize (approach 2, the
+            paper's experimental setting).
+        legalizer_alpha: Timing weight in the legalizer gain (0.95).
+        degradation_allowance: Maximum fractional critical-delay
+            degradation tolerated per iteration before the step is rolled
+            back (intermediate degradation is part of the flow — Section
+            V-D — but runaway steps are not).
+        aggressive_unification: Post-process unification moves any fanout
+            that does not violate the current critical delay (Section
+            VII-B); if False, only strict arrival improvements move.
+        allow_ff_relocation: Enable Section V-D FF relocation when a
+            critical FF sink stops improving.
+        ff_relocation_slack: Fractional degradation allowed on other
+            paths touching a relocated FF.
+        seed: Reserved for deterministic tie-breaking (the flow itself
+            has no randomized components, as the paper notes).
+    """
+
+    scheme: DelayScheme = field(default_factory=MaxArrivalScheme)
+    max_iterations: int = 50
+    patience: int = 6
+    epsilon_step_fraction: float = 0.05
+    max_tree_nodes: int = 120
+    cost_free: float = 0.25
+    cost_occupied: float = 4.0
+    cost_occupied_critical: float = 40.0
+    cost_replication: float = 1.0
+    cost_equivalent: float = 0.0
+    wire_cost_per_unit: float = 1.0
+    delay_bound_slack: float = 0.02
+    max_labels_per_vertex: int = 8
+    max_cohabiting_children: int | None = None
+    degradation_allowance: float = 0.03
+    legalizer_alpha: float = 0.95
+    aggressive_unification: bool = True
+    allow_ff_relocation: bool = True
+    ff_relocation_slack: float = 0.05
+    seed: int = 0

@@ -1,0 +1,426 @@
+"""Optimal timing-driven fanin-tree embedding (Section II, Fig. 6).
+
+The dynamic program proceeds bottom-up over the tree topology.  For each
+tree node ``i`` and embedding-graph vertex ``j`` it maintains the Pareto
+front ``A[i][j]`` of non-dominated ``(cost, delay-key)`` signatures of
+embeddings of the subtree rooted at ``i`` *driven from* ``j``:
+
+* **ComputeInitial** — a leaf's single branching label sits at its fixed
+  vertex with zero cost and its arrival time.
+* **GenDijkstra** — a multi-label wavefront expansion (generalized
+  Dijkstra, after [9]) propagates each new generation of branching
+  labels through the graph, accumulating wire cost/delay and discarding
+  dominated labels on the fly.  Labels pop in lexicographic
+  ``(cost, delay-key)`` order, so any label that would dominate a popped
+  label has been popped before it — the classic label-setting argument.
+* **JoinTree** — at an internal node, children fronts at each vertex are
+  folded pairwise (the schemes' ``combine`` is associative) with
+  intermediate Pareto pruning; the result is charged the node's
+  placement cost and gate delay and becomes the branching generation
+  ``A^b[i][j]``.
+* **AugmentRoot** — the root (sink) joins at its fixed vertex (or at
+  every vertex when FF relocation frees it) and yields the final
+  cost/delay trade-off curve.
+
+Two paper-faithful details:
+
+* the fixed per-connection delay of the linear model is charged at join
+  time to every child label whose ``branching`` bit is clear (i.e. the
+  child gate is *not* co-located with the parent), which reproduces the
+  piecewise point-to-point delay of Section II-B exactly;
+* the branching bit doubles as the overlap-control device of Section
+  II-A: with ``max_cohabiting_children`` set, joins whose children would
+  stack more gates on one vertex than CLB capacity allows are skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.embedding_graph import EmbeddingGraph
+from repro.core.signatures import DelayScheme, MaxArrivalScheme, SortKey
+from repro.core.solutions import BitAwareFront, Label, ParetoFront, make_front
+from repro.core.topology import FaninTree, TreeNode
+
+#: Placement cost callback: (tree node, vertex) -> cost (inf = forbidden).
+PlacementCostFn = Callable[[TreeNode, int], float]
+
+
+def zero_placement_cost(_node: TreeNode, _vertex: int) -> float:
+    """Default: no placement cost anywhere."""
+    return 0.0
+
+
+@dataclass
+class EmbedderOptions:
+    """Tuning knobs for the embedding DP.
+
+    Attributes:
+        connection_delay: Fixed delay charged once per nonzero-length
+            tree connection (match the architecture's linear model).
+        delay_bound: Labels whose primary delay exceeds this are pruned
+            (the flow passes the current critical delay — slower
+            solutions are never useful).  ``inf`` disables.
+        max_labels_per_vertex: Optional cap on front size per (node,
+            vertex); keeps worst-case work bounded on large graphs.
+            ``0`` disables.
+        max_cohabiting_children: Optional overlap control (Section II-A
+            approach 1): maximum number of *branching* children allowed
+            in a single join.  ``None`` disables (approach 2 — the
+            legalizer cleans up).
+    """
+
+    connection_delay: float = 0.0
+    delay_bound: float = math.inf
+    max_labels_per_vertex: int = 0
+    max_cohabiting_children: int | None = None
+
+
+@dataclass
+class EmbeddingResult:
+    """Trade-off curve at the root plus reconstruction machinery."""
+
+    tree: FaninTree
+    scheme: DelayScheme
+    root_front: ParetoFront
+    #: For a movable root (FF relocation, Section V-D): every per-vertex
+    #: non-dominated label — "the tradeoff curve that is composed of
+    #: solutions at all possible locations for the critical sink".
+    #: Cross-vertex dominance must NOT collapse these, because the
+    #: relocation pick weighs a position-dependent penalty.
+    root_candidates: list[Label] = field(default_factory=list)
+    #: Vertices explored (diagnostics).
+    vertices_touched: int = 0
+
+    def trade_off(self) -> list[tuple[float, float]]:
+        """(cost, primary delay) pairs, cheapest first."""
+        return [
+            (label.cost, self.scheme.primary(label.key)) for label in self.root_front
+        ]
+
+    def pick(self, delay_bound: float, fallback_margin: float = 0.02) -> Label | None:
+        """Cheapest root label with primary delay <= bound, else ~fastest.
+
+        Implements the paper's selection rule ("the cheapest solution
+        that is fast enough", Section II-C).  When nothing meets the
+        bound, the fallback is the cheapest label within
+        ``fallback_margin`` of the fastest achievable delay — going to
+        the literal fastest can cost arbitrarily much replication for a
+        negligible delay edge.
+        """
+        qualifying = [
+            label
+            for label in self.root_front
+            if self.scheme.primary(label.key) <= delay_bound + 1e-12
+        ]
+        if qualifying:
+            return min(qualifying, key=lambda label: label.cost)
+        fastest = self.root_front.best_delay()
+        if fastest is None:
+            return None
+        limit = self.scheme.primary(fastest.key) * (1.0 + fallback_margin)
+        near_fastest = [
+            label
+            for label in self.root_front
+            if self.scheme.primary(label.key) <= limit + 1e-12
+        ]
+        return min(near_fastest, key=lambda label: label.cost)
+
+    def extract_placements(self, label: Label) -> dict[int, int]:
+        """Tree-node-index -> vertex for the chosen solution.
+
+        Top-down retrace of the DP choices (Section II: "the actual
+        embedding is reconstructed in a top-down process").  Leaves are
+        included (at their fixed vertices).
+        """
+        placements: dict[int, int] = {}
+        stack = [label]
+        while stack:
+            current = stack.pop()
+            while not current.branching:
+                assert current.pred is not None
+                current = current.pred
+            placements[current.node] = current.vertex
+            stack.extend(current.parts)
+        return placements
+
+    def extract_routes(self, label: Label) -> dict[int, list[int]]:
+        """Tree-node-index -> vertex path from the node to its parent.
+
+        The path is the wavefront trail (placement vertex first, parent's
+        vertex last); co-located connections yield single-vertex paths.
+        """
+        routes: dict[int, list[int]] = {}
+        stack = [label]
+        while stack:
+            current = stack.pop()
+            trail = [current.vertex]
+            while not current.branching:
+                assert current.pred is not None
+                current = current.pred
+                trail.append(current.vertex)
+            trail.reverse()
+            routes[current.node] = trail
+            stack.extend(current.parts)
+        return routes
+
+
+class FaninTreeEmbedder:
+    """The DP engine; one instance per embedding graph (reusable)."""
+
+    def __init__(
+        self,
+        graph: EmbeddingGraph,
+        scheme: DelayScheme | None = None,
+        placement_cost: PlacementCostFn = zero_placement_cost,
+        options: EmbedderOptions | None = None,
+    ) -> None:
+        self.graph = graph
+        self.scheme = scheme if scheme is not None else MaxArrivalScheme()
+        self.placement_cost = placement_cost
+        self.options = options if options is not None else EmbedderOptions()
+
+    # ------------------------------------------------------------------
+    # Top level (TreeEmbedding / ComputeSubTree of Fig. 6)
+    # ------------------------------------------------------------------
+
+    def embed(self, tree: FaninTree) -> EmbeddingResult:
+        tree.validate()
+        fronts: dict[int, dict[int, ParetoFront]] = {}
+        root = tree.root
+        for node in tree.postorder():
+            if node.index == root.index:
+                continue
+            if node.is_leaf:
+                branch = self._compute_initial(node)
+            else:
+                branch = self._join_tree(node, fronts)
+            fronts[node.index] = self._gen_dijkstra(node, branch)
+            for child in node.children:
+                fronts.pop(child, None)  # children fronts no longer needed
+        root_front, root_candidates = self._augment_root(root, fronts)
+        touched = sum(
+            1
+            for child_fronts in fronts.values()
+            for front in child_fronts.values()
+            if len(front)
+        )
+        return EmbeddingResult(
+            tree=tree,
+            scheme=self.scheme,
+            root_front=root_front,
+            root_candidates=root_candidates,
+            vertices_touched=touched,
+        )
+
+    # ------------------------------------------------------------------
+    # ComputeInitial
+    # ------------------------------------------------------------------
+
+    def _compute_initial(self, node: TreeNode) -> dict[int, list[Label]]:
+        assert node.vertex is not None
+        key = self.scheme.leaf_key(node.arrival, node.is_critical_input)
+        label = Label(
+            cost=0.0,
+            key=key,
+            sort=self.scheme.sort_key(key),
+            vertex=node.vertex,
+            node=node.index,
+            branching=True,
+        )
+        return {node.vertex: [label]}
+
+    # ------------------------------------------------------------------
+    # JoinTree (line c2): fold children fronts at every vertex
+    # ------------------------------------------------------------------
+
+    def _join_tree(
+        self, node: TreeNode, fronts: dict[int, dict[int, ParetoFront]]
+    ) -> dict[int, list[Label]]:
+        child_fronts = [fronts[child] for child in node.children]
+        branch: dict[int, list[Label]] = {}
+        for vertex in self.graph.vertices():
+            if self.graph.is_blocked(vertex):
+                continue
+            p_ij = self.placement_cost(node, vertex)
+            if math.isinf(p_ij):
+                continue
+            per_child = []
+            for front_map in child_fronts:
+                front = front_map.get(vertex)
+                if front is None or not len(front):
+                    break
+                per_child.append(front.labels())
+            else:
+                joined = self._join_at_vertex(node, vertex, per_child, p_ij)
+                if joined:
+                    branch[vertex] = joined
+        return branch
+
+    def _join_at_vertex(
+        self,
+        node: TreeNode,
+        vertex: int,
+        per_child: list[list[Label]],
+        p_ij: float,
+    ) -> list[Label]:
+        scheme = self.scheme
+        conn = self.options.connection_delay
+        limit = self.options.max_cohabiting_children
+
+        # Partial combos: (cost, combined key, branching-bit count, labels).
+        combos: list[tuple[float, object, int, tuple[Label, ...]]] = [
+            (0.0, None, 0, ())
+        ]
+        for child_labels in per_child:
+            new_front = make_front(scheme)
+            new_combos: list[tuple[float, object, int, tuple[Label, ...]]] = []
+            for cost, key, bits, labels in combos:
+                for child in child_labels:
+                    child_bits = bits + (1 if child.branching else 0)
+                    if limit is not None and child_bits > limit:
+                        continue
+                    child_key = child.key
+                    if conn and not child.branching:
+                        child_key = scheme.extend(child_key, conn)
+                    merged = child_key if key is None else scheme.combine(key, child_key)
+                    new_cost = cost + child.cost
+                    probe = Label(
+                        cost=new_cost,
+                        key=merged,
+                        sort=scheme.sort_key(merged),
+                        vertex=vertex,
+                        node=node.index,
+                        branching=True,
+                        parts=labels + (child,),
+                    )
+                    if new_front.insert(probe):
+                        new_combos.append((new_cost, merged, child_bits, probe.parts))
+            # Keep only combos that survived pruning (front order).
+            combos = [
+                (label.cost, label.key, self._bits(label.parts), label.parts)
+                for label in new_front
+            ]
+        results: list[Label] = []
+        for cost, key, _bits, labels in combos:
+            assert key is not None
+            final = scheme.finalize(key, node.gate_delay)
+            sort = scheme.sort_key(final)
+            if scheme.primary(final) > self.options.delay_bound:
+                continue
+            results.append(
+                Label(
+                    cost=cost + p_ij,
+                    key=final,
+                    sort=sort,
+                    vertex=vertex,
+                    node=node.index,
+                    branching=True,
+                    parts=labels,
+                )
+            )
+        return results
+
+    @staticmethod
+    def _bits(labels: tuple[Label, ...]) -> int:
+        return sum(1 for label in labels if label.branching)
+
+    # ------------------------------------------------------------------
+    # GenDijkstra (multi-label wavefront expansion)
+    # ------------------------------------------------------------------
+
+    def _vertex_front(self) -> BitAwareFront:
+        """Wavefront front with bit-aware pruning (Section II-A)."""
+        return BitAwareFront(
+            self.scheme,
+            self.options.connection_delay,
+            self.options.max_cohabiting_children is not None,
+        )
+
+    def _gen_dijkstra(
+        self, node: TreeNode, branch: dict[int, list[Label]]
+    ) -> dict[int, ParetoFront]:
+        scheme = self.scheme
+        fronts: dict[int, ParetoFront] = {}
+        counter = itertools.count()
+        heap: list[tuple[float, SortKey, int, Label]] = []
+        for labels in branch.values():
+            for label in labels:
+                heapq.heappush(heap, (label.cost, label.sort, next(counter), label))
+
+        cap = self.options.max_labels_per_vertex
+        bound = self.options.delay_bound
+        while heap:
+            _cost, _sort, _tick, label = heapq.heappop(heap)
+            front = fronts.setdefault(label.vertex, self._vertex_front())
+            if cap and len(front) >= cap and not front.is_dominated(label):
+                # Front full: admit only labels cheaper than the tail.
+                if label.cost >= front.labels()[-1].cost:
+                    continue
+            if not front.insert(label):
+                continue
+            for edge in self.graph.edges_from(label.vertex):
+                key = scheme.extend(label.key, edge.wire_delay)
+                if scheme.primary(key) > bound:
+                    continue
+                successor = Label(
+                    cost=label.cost + edge.wire_cost,
+                    key=key,
+                    sort=scheme.sort_key(key),
+                    vertex=edge.target,
+                    node=node.index,
+                    branching=False,
+                    pred=label,
+                )
+                target_front = fronts.get(edge.target)
+                if target_front is not None and target_front.is_dominated(successor):
+                    continue
+                heapq.heappush(
+                    heap, (successor.cost, successor.sort, next(counter), successor)
+                )
+        return fronts
+
+    # ------------------------------------------------------------------
+    # AugmentRoot
+    # ------------------------------------------------------------------
+
+    def _augment_root(
+        self, root: TreeNode, fronts: dict[int, dict[int, ParetoFront]]
+    ) -> tuple[ParetoFront, list[Label]]:
+        result = make_front(self.scheme)
+        candidates: list[Label] = []
+        targets = (
+            [root.vertex]
+            if root.vertex is not None
+            else [v for v in self.graph.vertices() if not self.graph.is_blocked(v)]
+        )
+        child_fronts = [fronts[child] for child in root.children]
+        for vertex in targets:
+            assert vertex is not None
+            p_ij = (
+                0.0 if root.vertex is not None else self.placement_cost(root, vertex)
+            )
+            if math.isinf(p_ij):
+                continue
+            per_child = []
+            for front_map in child_fronts:
+                front = front_map.get(vertex)
+                if front is None or not len(front):
+                    break
+                per_child.append(front.labels())
+            else:
+                vertex_front = make_front(self.scheme)
+                for label in self._join_at_vertex(root, vertex, per_child, p_ij):
+                    result.insert(label)
+                    if vertex_front.insert(label):
+                        candidates.append(label)
+        candidates = [
+            label
+            for label in candidates
+            if root.vertex is not None or not self.graph.is_blocked(label.vertex)
+        ]
+        return result, candidates

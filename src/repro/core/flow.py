@@ -1,0 +1,426 @@
+"""The main optimization loop (Section IV, Fig. 10-11).
+
+Per iteration: STA -> pick the critical sink -> build its ε-SPT ->
+induce the replication tree -> embed -> pick the cheapest fast-enough
+solution -> extract (replicate/relocate) -> post-process unification ->
+timing-driven legalization.  Around that, the details of Sections V and
+VI:
+
+* ε starts at zero and grows on non-improvement (the flow is fully
+  deterministic, so retrying the same tree would be pointless, V-B);
+* the best netlist/placement snapshot is kept, since FF relocation may
+  pass through intermediate degradations (V-D);
+* when a critical FF sink repeats without improvement, its location is
+  freed for one embedding and the chosen solution must not penalize
+  other paths touching that FF by more than a configured fraction (V-D);
+* running out of free slots terminates early (the paper hits this on
+  its densest circuits, VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ReplicationConfig
+from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
+from repro.core.embedding_graph import GridEmbeddingGraph
+from repro.core.extraction import apply_embedding
+from repro.core.replication_tree import (
+    ReplicationTreeInfo,
+    build_replication_tree,
+    make_placement_cost,
+)
+from repro.core.solutions import Label
+from repro.core.unification import postprocess_unification
+from repro.netlist.equivalence import EquivalenceIndex
+from repro.netlist.netlist import Netlist
+from repro.place.legalizer import TimingDrivenLegalizer
+from repro.place.placement import Placement
+from repro.timing.bounds import delay_lower_bound
+from repro.timing.spt import build_spt
+from repro.timing.sta import Endpoint, analyze
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration statistics (drives Fig. 14 and EXPERIMENTS.md)."""
+
+    iteration: int
+    sink: Endpoint
+    epsilon: float
+    delay_before: float
+    delay_after: float
+    replicated: int
+    unified: int
+    replicated_cum: int
+    unified_cum: int
+    ff_relocated: bool = False
+    note: str = ""
+    sink_improved: bool = False
+
+    @property
+    def improved(self) -> bool:
+        return self.delay_after < self.delay_before - 1e-9
+
+    @property
+    def progressed(self) -> bool:
+        """True if the clock period or this sink's own path improved.
+
+        Several endpoints are often tied at the critical delay; fixing
+        one at a time leaves the period unchanged for a few iterations
+        even though real progress is being made, so progress — not just
+        period reduction — is what drives ε growth and patience.
+        """
+        return self.improved or self.sink_improved
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of :meth:`ReplicationOptimizer.run`."""
+
+    netlist: Netlist
+    placement: Placement
+    initial_delay: float
+    final_delay: float
+    history: list[IterationRecord] = field(default_factory=list)
+    terminated_early: bool = False
+
+    @property
+    def improvement(self) -> float:
+        """Fractional critical-delay reduction (0.14 = 14% faster)."""
+        if self.initial_delay <= 0:
+            return 0.0
+        return 1.0 - self.final_delay / self.initial_delay
+
+    @property
+    def total_replicated(self) -> int:
+        return self.history[-1].replicated_cum if self.history else 0
+
+    @property
+    def total_unified(self) -> int:
+        return self.history[-1].unified_cum if self.history else 0
+
+
+class ReplicationOptimizer:
+    """Placement-coupled replication engine over a placed netlist.
+
+    The input netlist/placement are *modified in place* during the run;
+    the returned result carries the best snapshot seen (which is also
+    copied back into the inputs at the end).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        config: ReplicationConfig | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.placement = placement
+        self.config = config if config is not None else ReplicationConfig()
+        self.graph = GridEmbeddingGraph(
+            placement.arch,
+            wire_cost_per_unit=self.config.wire_cost_per_unit,
+            include_pads=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> OptimizationResult:
+        config = self.config
+        analysis = analyze(self.netlist, self.placement)
+        initial_delay = analysis.critical_delay
+        best_delay = initial_delay
+        best_netlist = self.netlist.clone()
+        best_placement = self.placement.copy()
+
+        history: list[IterationRecord] = []
+        epsilon: dict[Endpoint, float] = {}
+        last_sink: Endpoint | None = None
+        last_improved = True
+        no_improve = 0
+        replicated_cum = 0
+        unified_cum = 0
+        terminated_early = False
+
+        for iteration in range(config.max_iterations):
+            analysis = analyze(self.netlist, self.placement)
+            delay_before = analysis.critical_delay
+            sink = analysis.critical_endpoint
+            if sink is None:
+                break
+
+            relocate_ff = (
+                config.allow_ff_relocation
+                and sink == last_sink
+                and not last_improved
+                and self.netlist.cells[sink[0]].is_ff
+            )
+
+            sink_arrival_before = analysis.endpoint_arrival.get(sink, 0.0)
+            spt = build_spt(self.netlist, analysis, sink)
+            eps = epsilon.get(sink, 0.0)
+            info = build_replication_tree(
+                self.netlist,
+                self.placement,
+                self.graph,
+                analysis,
+                spt,
+                eps,
+                config,
+                movable_root=relocate_ff,
+            )
+
+            note = ""
+            replicated = unified = 0
+            if info is None or info.num_movable == 0:
+                note = "trivial tree"
+            else:
+                snapshot_nl = self.netlist.clone()
+                snapshot_pl = self.placement.copy()
+                picked = self._embed_and_pick(info, analysis, delay_before, relocate_ff)
+                if picked is None:
+                    note = "no embedding"
+                else:
+                    embedding, label = picked
+                    replicated, unified = self._apply(info, embedding, label)
+                    # Intermediate degradation is tolerated (Section V-D
+                    # keeps the best snapshot for exactly this reason) —
+                    # legalization after a replication batch routinely
+                    # costs a little elsewhere before later iterations
+                    # win it back.  Only runaway steps are rolled back.
+                    limit = delay_before * (1.0 + config.degradation_allowance)
+                    degraded = (
+                        analyze(self.netlist, self.placement).critical_delay
+                        > limit + 1e-9
+                    )
+                    if degraded and not relocate_ff:
+                        _copy_netlist_into(snapshot_nl, self.netlist)
+                        _copy_placement_into(snapshot_pl, self.placement)
+                        replicated = unified = 0
+                        note = "reverted"
+
+            analysis = analyze(self.netlist, self.placement)
+            delay_after = analysis.critical_delay
+            sink_arrival_after = analysis.endpoint_arrival.get(
+                sink, sink_arrival_before
+            )
+            replicated_cum += replicated
+            # Fig. 14 semantics: "unified" counts copies that were created
+            # and later merged away, i.e. creations minus copies alive.
+            net_alive = EquivalenceIndex(self.netlist).total_replicas()
+            unified_cum = max(unified_cum, max(0, replicated_cum - net_alive))
+            unified = unified_cum - (
+                history[-1].unified_cum if history else 0
+            )
+            record = IterationRecord(
+                iteration=iteration,
+                sink=sink,
+                epsilon=eps,
+                delay_before=delay_before,
+                delay_after=delay_after,
+                replicated=replicated,
+                unified=unified,
+                replicated_cum=replicated_cum,
+                unified_cum=unified_cum,
+                ff_relocated=relocate_ff,
+                note=note,
+                sink_improved=(
+                    delay_after <= delay_before + 1e-9
+                    and sink_arrival_after < sink_arrival_before - 1e-9
+                ),
+            )
+            history.append(record)
+
+            if delay_after < best_delay - 1e-9:
+                best_delay = delay_after
+                best_netlist = self.netlist.clone()
+                best_placement = self.placement.copy()
+
+            last_improved = record.progressed
+            last_sink = sink
+            if record.progressed:
+                no_improve = 0
+            else:
+                no_improve += 1
+                epsilon[sink] = eps + config.epsilon_step_fraction * delay_before
+                if no_improve > config.patience:
+                    break
+            if not self.placement.free_logic_slots() and not self.placement.is_legal():
+                terminated_early = True  # out of slots for replication
+                break
+
+        # Hand back the best snapshot (Section V-D: "we save the best
+        # solution seen ... so that we can always report the best").
+        self.netlist = best_netlist
+        self.placement = best_placement
+        return OptimizationResult(
+            netlist=best_netlist,
+            placement=best_placement,
+            initial_delay=initial_delay,
+            final_delay=best_delay,
+            history=history,
+            terminated_early=terminated_early,
+        )
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+
+    def _embed_and_pick(
+        self,
+        info: ReplicationTreeInfo,
+        analysis,
+        current_delay: float,
+        relocate_ff: bool,
+    ):
+        config = self.config
+        model = self.placement.arch.delay_model
+        cost_fn = make_placement_cost(
+            self.netlist, self.placement, self.graph, config, info, analysis=analysis
+        )
+        options = EmbedderOptions(
+            connection_delay=model.connection_delay,
+            delay_bound=current_delay * (1.0 + config.delay_bound_slack),
+            max_labels_per_vertex=config.max_labels_per_vertex,
+            max_cohabiting_children=config.max_cohabiting_children,
+        )
+        embedder = FaninTreeEmbedder(
+            self.graph, scheme=config.scheme, placement_cost=cost_fn, options=options
+        )
+        result = embedder.embed(info.tree)
+        if not len(result.root_front):
+            return None
+        if relocate_ff:
+            label = self._pick_relocation(info, result, analysis, current_delay)
+        else:
+            # "The cheapest solution that is fast enough" (Section II-C):
+            # fast enough means at the precomputed circuit delay lower
+            # bound; when nothing reaches it, pick() falls back to the
+            # cheapest solution within a small margin of the fastest.
+            bound = delay_lower_bound(self.netlist, self.placement)
+            label = result.pick(delay_bound=bound)
+        if label is None:
+            return None
+        return result, label
+
+    def _pick_relocation(
+        self, info: ReplicationTreeInfo, result, analysis, current_delay: float
+    ) -> Label | None:
+        """FF relocation pick (Section V-D): fastest arrival whose move
+        does not penalize other paths touching the FF too much."""
+        config = self.config
+        model = self.placement.arch.delay_model
+        sink_id = info.endpoint[0]
+        sink = self.netlist.cells[sink_id]
+        allowance = current_delay * (1.0 + config.ff_relocation_slack)
+
+        fanouts = self.netlist.fanout_pins(sink_id)
+        candidates = []
+        for label in result.root_candidates:
+            placements = result.extract_placements(label)
+            slot = self.graph.slot_at(placements[info.tree.root.index])
+            worst_other = 0.0
+            for fan_id, fan_pin in fanouts:
+                fan = self.netlist.cells[fan_id]
+                wire = model.wire_delay(
+                    self.placement.arch.distance(slot, self.placement.slot_of(fan_id))
+                )
+                if fan.is_timing_end and not fan.is_lut:
+                    path = model.launch_delay(True) + wire + model.capture_delay(fan.is_ff)
+                else:
+                    req = analysis.required.get(fan_id)
+                    if req is None or req == float("inf"):
+                        continue
+                    downstream = analysis.critical_delay - req + model.cell_delay(True)
+                    path = model.launch_delay(True) + wire + downstream
+                worst_other = max(worst_other, path)
+            if worst_other <= allowance:
+                primary = result.scheme.primary(label.key)
+                # Balance the sink's arrival against the paths launched
+                # from the relocated FF: minimizing the max is what makes
+                # one relocation land mid-corridor instead of ping-ponging
+                # the imbalance to the other side.
+                candidates.append((max(primary, worst_other), primary, label.cost, label))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda item: (item[0], item[1], item[2]))
+        return candidates[0][3]
+
+    def _apply(self, info: ReplicationTreeInfo, embedding, label: Label) -> tuple[int, int]:
+        """Extract, unify and legalize; returns (replicated, unified)."""
+        config = self.config
+        outcome = apply_embedding(
+            self.netlist, self.placement, self.graph, info, embedding, label,
+        )
+        # Aggressive unification budgets each pin move against a single
+        # STA's slacks; many moves can jointly overdraw (the wiring
+        # overshoot Section VIII worries about).  Guard it: if the pass
+        # degrades the critical delay, roll back and redo with strict
+        # improvement-only moves (which can never degrade arrivals).
+        before_unify = analyze(self.netlist, self.placement).critical_delay
+        if config.aggressive_unification:
+            snapshot_nl = self.netlist.clone()
+            snapshot_pl = self.placement.copy()
+            unify = postprocess_unification(self.netlist, self.placement, aggressive=True)
+            if (
+                analyze(self.netlist, self.placement).critical_delay
+                > before_unify + 1e-9
+            ):
+                _copy_netlist_into(snapshot_nl, self.netlist)
+                _copy_placement_into(snapshot_pl, self.placement)
+                unify = postprocess_unification(
+                    self.netlist, self.placement, aggressive=False
+                )
+        else:
+            unify = postprocess_unification(
+                self.netlist, self.placement, aggressive=False
+            )
+        legalizer = TimingDrivenLegalizer(
+            self.netlist,
+            self.placement,
+            alpha=config.legalizer_alpha,
+        )
+        legal = legalizer.legalize()
+        replicated = len(outcome.replicated)
+        unified = (
+            len(outcome.swept)
+            + len(unify.retired)
+            + len(unify.deleted)
+            + len(legal.unifications)
+        )
+        return replicated, unified
+
+
+def optimize_replication(
+    netlist: Netlist,
+    placement: Placement,
+    config: ReplicationConfig | None = None,
+) -> OptimizationResult:
+    """One-call API: run the replication flow and return the result.
+
+    The inputs are modified in place to the best solution found.
+    """
+    optimizer = ReplicationOptimizer(netlist, placement, config)
+    result = optimizer.run()
+    # Mirror the best snapshot back into the caller's objects.
+    _copy_netlist_into(result.netlist, netlist)
+    _copy_placement_into(result.placement, placement)
+    return result
+
+
+def _copy_netlist_into(source: Netlist, target: Netlist) -> None:
+    clone = source.clone()
+    target.cells = clone.cells
+    target.nets = clone.nets
+    target._next_cell_id = clone._next_cell_id
+    target._next_net_id = clone._next_net_id
+    target._names = clone._names
+
+
+def _copy_placement_into(source: Placement, target: Placement) -> None:
+    copy = source.copy()
+    target._slot_of = copy._slot_of
+    target._cells_at = copy._cells_at

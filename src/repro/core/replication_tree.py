@@ -1,0 +1,280 @@
+"""Replication-tree construction (Section III).
+
+From an ε-SPT rooted at a critical sink, induce a genuine fanin tree:
+
+* every ε-SPT LUT is (conceptually) copied; the copy ``v^R`` takes its
+  i'th input from ``u_i^R`` when ``(u_i, v)`` is a tree edge and from the
+  *original* ``u_i`` otherwise — so non-tree fanins become fixed leaves
+  with known arrival times (reconvergence terminators);
+* the sink (FF D pin or output pad) is the root;
+* placement costs encode congestion plus the equivalence discount, which
+  is what makes the replication *temporary*: a copy embedded on top of
+  an equivalent cell costs nothing and is unified away at extraction.
+
+The builder also marks the Lex-mc critical input: among leaves that are
+genuine timing start points, the one with the largest slowest-path delay
+(Section VI-A: "the actual inputs are identified as leaves of the tree
+that have zero signal arrival time ... the critical input [is the] one
+with the largest downstream delay").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.config import ReplicationConfig
+from repro.core.embedding_graph import GridEmbeddingGraph
+from repro.core.topology import FaninTree, TreeNode
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.timing.spt import SlowestPathsTree
+from repro.timing.sta import Endpoint, TimingAnalysis  # noqa: F401 (cost fn)
+
+
+@dataclass
+class ReplicationTreeInfo:
+    """A replication tree plus the bookkeeping extraction needs.
+
+    Attributes:
+        tree: The induced fanin tree (embedder input).
+        endpoint: The timing end point at the root.
+        node_cell: Tree-node index -> original netlist cell id, for
+            movable internal nodes only.
+        leaf_cell: Tree-node index -> netlist cell id for leaves.
+        child_pin: (parent tree-node index, child tree-node index) ->
+            input pin of the parent's cell fed by that child.
+    """
+
+    tree: FaninTree
+    endpoint: Endpoint
+    node_cell: dict[int, int] = field(default_factory=dict)
+    leaf_cell: dict[int, int] = field(default_factory=dict)
+    child_pin: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def num_movable(self) -> int:
+        return len(self.node_cell)
+
+
+def select_tree_cells(
+    netlist: Netlist,
+    spt: SlowestPathsTree,
+    epsilon: float,
+    max_cells: int,
+) -> set[int]:
+    """ε-SPT LUTs admitted as movable tree cells, size-capped.
+
+    The cap keeps the most critical cells and preserves upward closure
+    (a kept cell's tree parent chain is kept), so the selection is
+    always a connected subtree around the root.
+    """
+    sink_id = spt.endpoint[0]
+    candidates = [
+        cid
+        for cid in spt.epsilon_nodes(epsilon)
+        if cid != sink_id and netlist.cells[cid].is_lut
+    ]
+    candidates.sort(key=lambda cid: (-spt.path_delay[cid], cid))
+    selected: set[int] = set()
+    for cid in candidates:
+        if len(selected) >= max_cells:
+            break
+        # Walk the parent chain; admit only if it fits within the cap.
+        chain = []
+        cursor = cid
+        while cursor != sink_id and cursor not in selected:
+            if not netlist.cells[cursor].is_lut:
+                chain = None
+                break
+            chain.append(cursor)
+            parent = spt.parent[cursor]
+            assert parent is not None
+            cursor = parent[0]
+        if chain is None:
+            continue
+        if len(selected) + len(chain) <= max_cells:
+            selected.update(chain)
+    return selected
+
+
+def build_replication_tree(
+    netlist: Netlist,
+    placement: Placement,
+    graph: GridEmbeddingGraph,
+    analysis: TimingAnalysis,
+    spt: SlowestPathsTree,
+    epsilon: float,
+    config: ReplicationConfig,
+    movable_root: bool = False,
+) -> ReplicationTreeInfo | None:
+    """Induce the replication tree for ``spt``'s sink; ``None`` if trivial.
+
+    ``movable_root`` frees the sink's location (FF relocation, Section
+    V-D); it requires the sink to be an FF.
+    """
+    endpoint = spt.endpoint
+    sink_id, sink_pin = endpoint
+    sink = netlist.cells[sink_id]
+    model = placement.arch.delay_model
+
+    tree_cells = select_tree_cells(netlist, spt, epsilon, config.max_tree_nodes)
+    net_id = sink.inputs[sink_pin]
+    if net_id is None:
+        return None
+    root_driver = netlist.nets[net_id].driver
+    assert root_driver is not None
+    if root_driver not in tree_cells:
+        return None  # nothing movable feeds the sink
+
+    tree = FaninTree()
+    info = ReplicationTreeInfo(tree=tree, endpoint=endpoint)
+
+    def leaf_vertex(cell_id: int) -> int:
+        return graph.vertex_at(placement.slot_of(cell_id))
+
+    def build(cell_id: int) -> TreeNode:
+        cell = netlist.cells[cell_id]
+        children: list[TreeNode] = []
+        pins: list[int] = []
+        for pin, in_net in enumerate(cell.inputs):
+            if in_net is None:
+                continue
+            driver = netlist.nets[in_net].driver
+            assert driver is not None
+            is_tree_edge = (
+                driver in tree_cells and spt.parent.get(driver) == (cell_id, pin)
+            )
+            if is_tree_edge:
+                child = build(driver)
+            else:
+                child = tree.add_leaf(
+                    vertex=leaf_vertex(driver),
+                    arrival=analysis.arrival[driver],
+                    payload=driver,
+                )
+                info.leaf_cell[child.index] = driver
+            children.append(child)
+            pins.append(pin)
+        node = tree.add_internal(
+            children, gate_delay=model.cell_delay(True), payload=cell_id
+        )
+        info.node_cell[node.index] = cell_id
+        for child, pin in zip(children, pins):
+            info.child_pin[(node.index, child.index)] = pin
+        return node
+
+    top = build(root_driver)
+    root_vertex = None if movable_root else leaf_vertex(sink_id)
+    root = tree.set_root(
+        top,
+        gate_delay=model.capture_delay(sink.is_ff),
+        vertex=root_vertex,
+        payload=sink_id,
+    )
+    info.child_pin[(root.index, top.index)] = sink_pin
+
+    _mark_critical_input(netlist, spt, tree, info)
+    tree.validate()
+    return info
+
+
+def _mark_critical_input(
+    netlist: Netlist,
+    spt: SlowestPathsTree,
+    tree: FaninTree,
+    info: ReplicationTreeInfo,
+) -> None:
+    """Flag the Lex-mc critical input among genuine start-point leaves."""
+    best_index: int | None = None
+    best_delay = -math.inf
+    for node in tree.leaves():
+        cell_id = info.leaf_cell[node.index]
+        if not netlist.cells[cell_id].is_timing_start:
+            continue  # reconvergence terminator, not an actual input
+        delay = spt.path_delay.get(cell_id, -math.inf)
+        if delay > best_delay:
+            best_delay = delay
+            best_index = node.index
+    if best_index is not None:
+        tree.nodes[best_index].is_critical_input = True
+
+
+def make_placement_cost(
+    netlist: Netlist,
+    placement: Placement,
+    graph: GridEmbeddingGraph,
+    config: ReplicationConfig,
+    info: ReplicationTreeInfo,
+    analysis: TimingAnalysis | None = None,
+):
+    """Placement-cost callback implementing Sections II-A and III.
+
+    * logic cells may only sit on logic slots;
+    * a slot holding a cell logically equivalent to the tree node's cell
+      is discounted (implicit unification — no replication happens);
+    * fanout-of-one cells are discounted everywhere ("we still replicate,
+      but ... no actual replication will ever occur");
+    * otherwise congestion pricing: free slots are cheap; full slots are
+      priced by how much damage legalization would do — slots whose
+      occupants are all near-critical are effectively off-limits, since
+      displacing them would just move the critical path ("high cost is
+      assigned to congested areas, so those areas are utilized only if
+      needed", Section II-A).
+    """
+    arch = placement.arch
+    # Slots whose every movable occupant is close enough to critical that
+    # a one-slot displacement could set a new critical path.
+    hot_slots: set = set()
+    if analysis is not None:
+        margin = 2.0 * arch.delay_model.wire_delay_per_unit
+        for slot in arch.logic_slots():
+            occupants = [
+                cid
+                for cid in placement.cells_at(slot)
+                if not netlist.cells[cid].ctype.is_pad
+            ]
+            if occupants and all(
+                analysis.cell_worst_path_delay(cid) + margin
+                >= analysis.critical_delay - 1e-9
+                for cid in occupants
+            ):
+                hot_slots.add(slot)
+    # Slot sets per equivalence class present in the tree.
+    eq_slots: dict[int, set] = {}
+    for cell_id in info.node_cell.values():
+        eq_class = netlist.cells[cell_id].eq_class
+        if eq_class not in eq_slots:
+            slots = set()
+            for other in netlist.cells.values():
+                if other.eq_class == eq_class and placement.get(other.cell_id):
+                    slots.add(placement.slot_of(other.cell_id))
+            eq_slots[eq_class] = slots
+
+    def cost(node: TreeNode, vertex: int) -> float:
+        cell_id = info.node_cell.get(node.index)
+        if cell_id is None:
+            if node.vertex is None and not node.is_leaf:
+                # Movable root (FF relocation): any logic slot, no charge.
+                slot = graph.slot_at(vertex)
+                return 0.0 if arch.is_logic_slot(slot) else math.inf
+            return 0.0  # fixed root or leaf: never charged
+        slot = graph.slot_at(vertex)
+        if not arch.is_logic_slot(slot):
+            return math.inf
+        cell = netlist.cells[cell_id]
+        if slot in eq_slots.get(cell.eq_class, ()):
+            return config.cost_equivalent
+        if placement.occupancy(slot) >= arch.slot_capacity(slot):
+            congestion = (
+                config.cost_occupied_critical
+                if slot in hot_slots
+                else config.cost_occupied
+            )
+        else:
+            congestion = config.cost_free
+        if netlist.fanout_count(cell) == 1:
+            return congestion  # replication overhead discounted
+        return congestion + config.cost_replication
+
+    return cost

@@ -1,0 +1,287 @@
+"""Non-dominated solution sets (Pareto fronts) and embedding labels.
+
+"Because of this partial order, there is often not a single 'best'
+solution for an (i, j) pair, so we keep a list of all nondominated
+solutions."  (Section II.)
+
+Two front implementations mirror the paper's own dichotomy:
+
+* :class:`StaircaseFront` — for schemes whose delay keys are *totally*
+  ordered (2-D cost/arrival, Lex-N, Lex-mc): kept labels form a
+  staircase of increasing cost and decreasing delay key, so dominance
+  tests are a single bisection ("the dominance test is trivial ...
+  and takes constant time", Section II-D).
+* :class:`PartialOrderFront` — for schemes with genuinely partial delay
+  orders (the 3-D Elmore-style signatures of Section II-D, the
+  quadratic-wire example key): dominance is delegated to the scheme and
+  membership is maintained by linear scan (the paper uses balanced
+  search trees; at our front sizes a scan is faster in Python).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+
+from repro.core.signatures import DelayScheme, SortKey
+
+
+@dataclass(frozen=True)
+class Label:
+    """One candidate embedding of a subtree.
+
+    Attributes:
+        cost: Accumulated cost (wire + placement + children).
+        key: Scheme-specific delay key.
+        sort: ``scheme.sort_key(key)`` (cached; orders fronts and the
+            wavefront heap — a linear extension of the dominance order).
+        vertex: Embedding-graph vertex this label is *driven from*.
+        node: Tree node index the label embeds.
+        branching: True if the subtree root is placed exactly at
+            ``vertex`` (an ``A^b`` "branching solution"); False if the
+            label was produced by wavefront extension (single-stem).
+        pred: For extension labels: the predecessor label.
+        parts: For branching labels: the child labels joined (leaves: ()).
+    """
+
+    cost: float
+    key: object
+    sort: SortKey
+    vertex: int
+    node: int
+    branching: bool
+    pred: "Label | None" = None
+    parts: tuple["Label", ...] = ()
+
+    def branch_vertex(self) -> int:
+        """The vertex where this label's subtree root is actually placed."""
+        label = self
+        while not label.branching:
+            assert label.pred is not None
+            label = label.pred
+        return label.vertex
+
+
+@dataclass
+class StaircaseFront:
+    """Staircase of non-dominated labels (cost up, delay key down)."""
+
+    _entries: list[tuple[float, SortKey, Label]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return (label for _cost, _sort, label in self._entries)
+
+    def labels(self) -> list[Label]:
+        return [label for _cost, _sort, label in self._entries]
+
+    def is_dominated(self, label: Label) -> bool:
+        """True if some kept label has cost <= and delay key <= the query."""
+        # The last entry with cost <= label.cost has (by the staircase
+        # invariant) the smallest delay key among those entries, so it is
+        # the only one that needs testing.
+        index = bisect_right(self._entries, (label.cost, _MAX_SORT)) - 1
+        if index < 0:
+            return False
+        _cost, kept_sort, _kept = self._entries[index]
+        return kept_sort <= label.sort
+
+    def insert(self, label: Label) -> bool:
+        """Insert if non-dominated; evict labels the new one dominates."""
+        if self.is_dominated(label):
+            return False
+        # Evict entries with cost >= label.cost and sort >= label.sort;
+        # they are contiguous because sorts decrease along the staircase.
+        start = bisect_left(self._entries, (label.cost, _MIN_SORT))
+        end = start
+        while end < len(self._entries) and self._entries[end][1] >= label.sort:
+            end += 1
+        del self._entries[start:end]
+        insort(self._entries, (label.cost, label.sort, label))
+        return True
+
+    def best_delay(self) -> Label | None:
+        """The fastest label (largest-cost end of the staircase)."""
+        if not self._entries:
+            return None
+        return self._entries[-1][2]
+
+    def cheapest(self) -> Label | None:
+        if not self._entries:
+            return None
+        return self._entries[0][2]
+
+
+@dataclass
+class PartialOrderFront:
+    """Non-dominated label list under a scheme-defined partial order."""
+
+    scheme: DelayScheme
+    _entries: list[Label] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(sorted(self._entries, key=lambda label: (label.cost, label.sort)))
+
+    def labels(self) -> list[Label]:
+        return sorted(self._entries, key=lambda label: (label.cost, label.sort))
+
+    def is_dominated(self, label: Label) -> bool:
+        return any(
+            kept.cost <= label.cost and self.scheme.dominates(kept.key, label.key)
+            for kept in self._entries
+        )
+
+    def insert(self, label: Label) -> bool:
+        if self.is_dominated(label):
+            return False
+        self._entries = [
+            kept
+            for kept in self._entries
+            if not (
+                label.cost <= kept.cost and self.scheme.dominates(label.key, kept.key)
+            )
+        ]
+        self._entries.append(label)
+        return True
+
+    def best_delay(self) -> Label | None:
+        if not self._entries:
+            return None
+        return min(
+            self._entries,
+            key=lambda label: (self.scheme.primary(label.key), label.cost),
+        )
+
+    def cheapest(self) -> Label | None:
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda label: (label.cost, label.sort))
+
+
+#: Either front type (same duck interface).
+ParetoFront = StaircaseFront
+
+
+def make_front(scheme: DelayScheme) -> StaircaseFront | PartialOrderFront:
+    """Front appropriate to the scheme's dominance structure."""
+    if scheme.total_order:
+        return StaircaseFront()
+    return PartialOrderFront(scheme)
+
+
+class BitAwareFront:
+    """Per-vertex front that treats the branching bit as a dominance axis.
+
+    Section II-A: "one has to be careful about pruning suboptimal
+    solutions since placement bits have to be considered as well."  A
+    branching label (gate placed *at* this vertex) is better at joins —
+    it avoids the fixed per-connection delay, and under overlap control a
+    non-branching label may be join-legal where a branching one is not.
+    The safe cross-bit pruning rules are therefore:
+
+    * a non-branching label dominates (may evict/pre-empt) a branching
+      one only if it still wins after being charged the connection delay
+      it cannot avoid at a future join;
+    * a branching label dominates a non-branching one only when overlap
+      control is off.
+
+    Internally each bit class keeps its entries with a *dominance key*:
+    plain for branching labels, connection-charged for non-branching
+    ones; all the rules above then reduce to plain comparisons of
+    dominance keys (for additive, order-preserving ``extend``, which all
+    schemes satisfy).
+    """
+
+    def __init__(
+        self,
+        scheme: DelayScheme,
+        connection_delay: float,
+        overlap_control: bool,
+    ) -> None:
+        self._scheme = scheme
+        self._conn = connection_delay
+        self._overlap_control = overlap_control
+        #: entries[bit] = list of (cost, dom_sort, dom_key, label).
+        self._entries: dict[bool, list[tuple[float, SortKey, object, Label]]] = {
+            False: [],
+            True: [],
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries[False]) + len(self._entries[True])
+
+    def __iter__(self):
+        merged = self._entries[False] + self._entries[True]
+        merged.sort(key=lambda entry: (entry[0], entry[1]))
+        return (entry[3] for entry in merged)
+
+    def labels(self) -> list[Label]:
+        return list(iter(self))
+
+    def _dom_key(self, label: Label) -> tuple[SortKey, object]:
+        if label.branching or not self._conn:
+            return label.sort, label.key
+        key = self._scheme.extend(label.key, self._conn)
+        return self._scheme.sort_key(key), key
+
+    def _beaten_by(
+        self,
+        entries: list[tuple[float, SortKey, object, Label]],
+        cost: float,
+        sort: SortKey,
+        key: object,
+    ) -> bool:
+        scheme = self._scheme
+        if scheme.total_order:
+            return any(c <= cost and s <= sort for c, s, _k, _l in entries)
+        return any(
+            c <= cost and scheme.dominates(k, key) for c, _s, k, _l in entries
+        )
+
+    def is_dominated(self, label: Label) -> bool:
+        dom_sort, dom_key = self._dom_key(label)
+        if label.branching:
+            # Same-bit check uses plain keys; cross-bit check compares the
+            # stored charged keys of non-branching labels against our
+            # plain key (i.e. "they beat us even after paying the charge").
+            return self._beaten_by(
+                self._entries[True], label.cost, label.sort, label.key
+            ) or self._beaten_by(
+                self._entries[False], label.cost, label.sort, label.key
+            )
+        if self._beaten_by(self._entries[False], label.cost, dom_sort, dom_key):
+            return True
+        if self._overlap_control:
+            return False  # branching labels can never prune non-branching
+        return self._beaten_by(self._entries[True], label.cost, label.sort, label.key)
+
+    def insert(self, label: Label) -> bool:
+        if self.is_dominated(label):
+            return False
+        dom_sort, dom_key = self._dom_key(label)
+        scheme = self._scheme
+        bucket = self._entries[label.branching]
+        if scheme.total_order:
+            bucket[:] = [
+                entry
+                for entry in bucket
+                if not (label.cost <= entry[0] and dom_sort <= entry[1])
+            ]
+        else:
+            bucket[:] = [
+                entry
+                for entry in bucket
+                if not (label.cost <= entry[0] and scheme.dominates(dom_key, entry[2]))
+            ]
+        bucket.append((label.cost, dom_sort, dom_key, label))
+        return True
+
+
+#: Sentinels for bisecting (compare above/below any real sort key).
+_MAX_SORT = (float("inf"),) * 8
+_MIN_SORT = (-float("inf"),) * 8

@@ -1,0 +1,168 @@
+"""Fanin-tree topology for the embedder (Section II).
+
+A :class:`FaninTree` is the *non-embedded* input to the embedding
+algorithm: leaves carry fixed locations (embedding-graph vertices) and
+signal arrival times; internal nodes are movable gates with an intrinsic
+delay; the root is the sink (fixed unless FF relocation is active).
+Nodes may carry an arbitrary ``payload`` (the flow stores netlist cell
+ids there) that the placement-cost function can inspect.
+
+Leaf-DAG inputs are supported implicitly: a circuit leaf feeding several
+tree nodes simply appears as several leaf nodes with the same vertex and
+arrival (footnote 2 and Section III: "since the timing properties of c
+are fixed and known, this does not complicate the embedding").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TreeNode:
+    """One node of a fanin tree.
+
+    Attributes:
+        index: Dense id within the owning tree.
+        children: Indices of child nodes (inputs), empty for leaves.
+        payload: Caller data (e.g. netlist cell id); opaque to the
+            embedder except through the placement-cost callback.
+        vertex: For leaves and a fixed root: the embedding-graph vertex
+            the node is pinned to.  ``None`` for movable nodes.
+        arrival: For leaves: signal arrival time at the node's output.
+        gate_delay: For internal nodes/root: intrinsic delay added when
+            signals pass through (the root uses its capture overhead).
+        is_critical_input: Lex-mc marker — True on the leaf identified as
+            the critical input of the replication tree (Section VI-A).
+    """
+
+    index: int
+    children: list[int] = field(default_factory=list)
+    payload: object | None = None
+    vertex: int | None = None
+    arrival: float = 0.0
+    gate_delay: float = 0.0
+    is_critical_input: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class FaninTree:
+    """A rooted fanin tree (root index 0 by convention after freezing)."""
+
+    def __init__(self) -> None:
+        self.nodes: list[TreeNode] = []
+        self.root_index: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_leaf(
+        self,
+        vertex: int,
+        arrival: float,
+        payload: object | None = None,
+        is_critical_input: bool = False,
+    ) -> TreeNode:
+        node = TreeNode(
+            index=len(self.nodes),
+            vertex=vertex,
+            arrival=arrival,
+            payload=payload,
+            is_critical_input=is_critical_input,
+        )
+        self.nodes.append(node)
+        return node
+
+    def add_internal(
+        self,
+        children: list[TreeNode],
+        gate_delay: float,
+        payload: object | None = None,
+    ) -> TreeNode:
+        if not children:
+            raise ValueError("internal node needs at least one child")
+        node = TreeNode(
+            index=len(self.nodes),
+            children=[c.index for c in children],
+            gate_delay=gate_delay,
+            payload=payload,
+        )
+        self.nodes.append(node)
+        return node
+
+    def set_root(
+        self,
+        child: TreeNode,
+        gate_delay: float = 0.0,
+        vertex: int | None = None,
+        payload: object | None = None,
+    ) -> TreeNode:
+        """Create the sink node over ``child``; ``vertex=None`` = movable."""
+        root = TreeNode(
+            index=len(self.nodes),
+            children=[child.index],
+            gate_delay=gate_delay,
+            vertex=vertex,
+            payload=payload,
+        )
+        self.nodes.append(root)
+        self.root_index = root.index
+        return root
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> TreeNode:
+        if self.root_index is None:
+            raise ValueError("tree has no root; call set_root")
+        return self.nodes[self.root_index]
+
+    def leaves(self) -> list[TreeNode]:
+        return [n for n in self.nodes if n.is_leaf]
+
+    def internal_nodes(self) -> list[TreeNode]:
+        """Movable nodes: non-leaves excluding the root."""
+        return [
+            n for n in self.nodes if not n.is_leaf and n.index != self.root_index
+        ]
+
+    def postorder(self) -> list[TreeNode]:
+        """Nodes in bottom-up (children before parents) order from the root."""
+        order: list[TreeNode] = []
+        stack: list[tuple[int, bool]] = [(self.root.index, False)]
+        while stack:
+            index, expanded = stack.pop()
+            node = self.nodes[index]
+            if expanded or node.is_leaf:
+                order.append(node)
+                continue
+            stack.append((index, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+        return order
+
+    def validate(self) -> None:
+        """Check the tree is a tree: every non-root node has one parent."""
+        if self.root_index is None:
+            raise ValueError("tree has no root")
+        parents: dict[int, int] = {}
+        for node in self.nodes:
+            for child in node.children:
+                if child in parents:
+                    raise ValueError(f"node {child} has two parents")
+                parents[child] = node.index
+        reachable = {n.index for n in self.postorder()}
+        if len(reachable) != len(self.nodes):
+            raise ValueError("tree has unreachable nodes")
+        for node in self.nodes:
+            if node.is_leaf and node.vertex is None:
+                raise ValueError(f"leaf {node.index} has no fixed vertex")
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,160 @@
+"""Post-process cell unification (Section V-C).
+
+After an embedding, replicas may sit *near* logically equivalent cells
+without being coincident, so implicit unification did not fire.  Two
+mechanisms run here:
+
+1. **Improvement moves** (Section V-C): any fanout of an equivalent cell
+   that would see a strictly better arrival time from another replica is
+   reassigned to it ("sometimes delay can even improve").
+2. **Aggressive retirement** (Section VII-B): the paper's unification "was
+   designed to be very aggressive in attempts to unify replicated cells
+   as long as they do not violate current critical delay".  A replica is
+   retired when every one of its fanout pins can be served by another
+   copy without violating that pin's required time; its fanouts move and
+   the cell is deleted.
+
+Cells that end up with no fanouts are deleted recursively (which may
+cascade to their fanins — the Fig. 13/DAG-migration scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.equivalence import EquivalenceIndex
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.timing.sta import TimingAnalysis, analyze
+
+
+@dataclass
+class UnificationResult:
+    """What one unification pass did."""
+
+    moved_pins: int = 0
+    retired: list[int] = field(default_factory=list)
+    deleted: list[int] = field(default_factory=list)
+
+
+def postprocess_unification(
+    netlist: Netlist,
+    placement: Placement,
+    analysis: TimingAnalysis | None = None,
+    aggressive: bool = True,
+) -> UnificationResult:
+    """Run unification over every equivalence class with replicas."""
+    if analysis is None:
+        analysis = analyze(netlist, placement)
+    index = EquivalenceIndex(netlist)
+    result = UnificationResult()
+
+    for eq_class in index.classes_with_replicas():
+        members = [cid for cid in index.class_members(eq_class) if cid in netlist.cells]
+        if len(members) < 2:
+            continue
+        _improvement_moves(netlist, analysis, members, result)
+        if aggressive:
+            analysis = _retire_redundant(netlist, placement, analysis, members, result)
+
+    result.deleted = netlist.sweep_redundant()
+    placement.prune_to(netlist)
+    return result
+
+
+def _arrival_at_pin(analysis: TimingAnalysis, driver_id: int, sink_id: int) -> float:
+    return analysis.arrival[driver_id] + analysis.connection_delay(driver_id, sink_id)
+
+
+def _improvement_moves(
+    netlist: Netlist,
+    analysis: TimingAnalysis,
+    members: list[int],
+    result: UnificationResult,
+) -> None:
+    """Move fanout pins to whichever replica gives the best arrival."""
+    for source_id in members:
+        for sink_pin in list(netlist.fanout_pins(source_id)):
+            sink_id, _pin = sink_pin
+            best_id = source_id
+            best_arrival = _arrival_at_pin(analysis, source_id, sink_id)
+            for candidate_id in members:
+                if candidate_id in (source_id, sink_id):
+                    continue
+                if candidate_id not in analysis.arrival:
+                    continue
+                at_pin = _arrival_at_pin(analysis, candidate_id, sink_id)
+                if at_pin < best_arrival - 1e-12:
+                    best_arrival = at_pin
+                    best_id = candidate_id
+            if best_id != source_id:
+                best = netlist.cells[best_id]
+                assert best.output is not None
+                netlist.move_sink(sink_pin, best.output)
+                result.moved_pins += 1
+
+
+def _retire_redundant(
+    netlist: Netlist,
+    placement: Placement,
+    analysis: TimingAnalysis,
+    members: list[int],
+    result: UnificationResult,
+) -> TimingAnalysis:
+    """Retire replicas whose fanouts all fit elsewhere within slack.
+
+    Each retirement is budgeted against a *fresh* STA and verified
+    afterwards (rolled back if the critical delay regressed despite the
+    per-pin budgets — pins of one victim can share downstream logic, so
+    the budgets are necessary but not quite sufficient).
+    """
+    live = [cid for cid in members if cid in netlist.cells]
+    # Try to retire small-fanout members first; keep at least one copy.
+    for victim_id in sorted(live, key=lambda cid: (netlist.fanout_count(cid), cid)):
+        if victim_id not in netlist.cells:
+            continue
+        alive = [
+            cid for cid in live if cid in netlist.cells and cid != victim_id
+        ]
+        if not alive:
+            break
+        moves: list[tuple[tuple[int, int], int]] = []
+        feasible = True
+        for sink_pin in netlist.fanout_pins(victim_id):
+            sink_id, pin = sink_pin
+            old_arrival = _arrival_at_pin(analysis, victim_id, sink_id)
+            # Strict slack: retiring this copy may not worsen ANY end
+            # point's current arrival (not merely the clock period).
+            budget = old_arrival + analysis.connection_slack_strict(
+                victim_id, sink_id, pin
+            )
+            candidates = [
+                (cid, _arrival_at_pin(analysis, cid, sink_id))
+                for cid in alive
+                if cid != sink_id and cid in analysis.arrival
+            ]
+            candidates = [
+                (cid, arrival)
+                for cid, arrival in candidates
+                if arrival <= budget + 1e-12
+            ]
+            if not candidates:
+                feasible = False
+                break
+            best_id, _arrival = min(candidates, key=lambda item: (item[1], item[0]))
+            moves.append((sink_pin, best_id))
+        if not feasible or not moves:
+            continue
+        snapshot = netlist.clone()
+        for sink_pin, target_id in moves:
+            target = netlist.cells[target_id]
+            assert target.output is not None
+            netlist.move_sink(sink_pin, target.output)
+        verify = analyze(netlist, placement)
+        if verify.critical_delay > analysis.critical_delay + 1e-9:
+            netlist.assign_from(snapshot)
+            continue
+        analysis = verify
+        result.moved_pins += len(moves)
+        result.retired.append(victim_id)
+    return analysis

@@ -1,0 +1,22 @@
+"""Netlist substrate: cells, nets, edits, equivalence, simulation, BLIF I/O."""
+
+from repro.netlist.cells import Cell, CellType
+from repro.netlist.equivalence import EquivalenceIndex
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.netlist.nets import Net, Pin
+from repro.netlist.simulate import check_equivalence, random_input_sequence, simulate
+from repro.netlist.validate import validate_netlist
+
+__all__ = [
+    "Cell",
+    "CellType",
+    "EquivalenceIndex",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "Pin",
+    "check_equivalence",
+    "random_input_sequence",
+    "simulate",
+    "validate_netlist",
+]

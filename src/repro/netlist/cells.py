@@ -1,0 +1,128 @@
+"""Cell model for the netlist substrate.
+
+The paper targets an island-style FPGA whose logic blocks are K-input
+look-up tables (LUTs) optionally paired with a flip-flop, plus perimeter
+I/O pads.  We model four cell types:
+
+``INPUT``
+    A primary input pad.  Timing start point with arrival time zero.
+``OUTPUT``
+    A primary output pad.  Timing end point.
+``LUT``
+    A K-input look-up table.  Carries a truth table so netlist
+    transformations (replication, unification, redundancy removal) can be
+    verified by functional simulation.
+``FF``
+    A D flip-flop.  Its D pin is a timing end point and its Q output is a
+    timing start point; this is how the paper's "FF-to-FF paths" arise.
+
+Cells are identified by small integer ids allocated by the owning
+:class:`~repro.netlist.netlist.Netlist`; names are for human consumption
+and BLIF round-tripping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CellType(enum.Enum):
+    """The four cell kinds understood by the flow."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    LUT = "lut"
+    FF = "ff"
+
+    @property
+    def is_pad(self) -> bool:
+        """True for I/O pads (placed on the FPGA perimeter)."""
+        return self in (CellType.INPUT, CellType.OUTPUT)
+
+    @property
+    def is_sequential_boundary(self) -> bool:
+        """True if the cell starts/ends timing paths (pads and FFs)."""
+        return self is not CellType.LUT
+
+
+@dataclass
+class Cell:
+    """A single netlist cell.
+
+    Attributes:
+        cell_id: Integer id unique within the owning netlist.
+        name: Human-readable name (unique within the owning netlist).
+        ctype: The :class:`CellType`.
+        inputs: Ordered input pins, each holding the id of the net driving
+            that pin, or ``None`` while under construction.  INPUT pads
+            have no input pins; OUTPUT pads and FFs have exactly one; LUTs
+            have up to K.
+        output: Id of the net this cell drives, or ``None`` for OUTPUT
+            pads (which only consume) or while under construction.
+        truth_table: For LUTs, an integer bitmask over the 2**k input
+            minterms (bit i gives the output for input valuation i, with
+            pin 0 as the least significant bit).  ``None`` for non-LUTs.
+        eq_class: Logical-equivalence class id.  Replicas produced by the
+            replication flow share the class of their original, which is
+            what licenses unification (Section V-C of the paper).
+    """
+
+    cell_id: int
+    name: str
+    ctype: CellType
+    inputs: list[int | None] = field(default_factory=list)
+    output: int | None = None
+    truth_table: int | None = None
+    eq_class: int = -1
+
+    def __post_init__(self) -> None:
+        if self.eq_class < 0:
+            self.eq_class = self.cell_id
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input pins (connected or not)."""
+        return len(self.inputs)
+
+    @property
+    def is_lut(self) -> bool:
+        return self.ctype is CellType.LUT
+
+    @property
+    def is_ff(self) -> bool:
+        return self.ctype is CellType.FF
+
+    @property
+    def is_input_pad(self) -> bool:
+        return self.ctype is CellType.INPUT
+
+    @property
+    def is_output_pad(self) -> bool:
+        return self.ctype is CellType.OUTPUT
+
+    @property
+    def is_timing_start(self) -> bool:
+        """True if signal launches here (primary input or FF Q output)."""
+        return self.ctype in (CellType.INPUT, CellType.FF)
+
+    @property
+    def is_timing_end(self) -> bool:
+        """True if paths terminate here (primary output or FF D input)."""
+        return self.ctype in (CellType.OUTPUT, CellType.FF)
+
+    def evaluate(self, input_values: tuple[int, ...] | list[int]) -> int:
+        """Evaluate a LUT for one input valuation (each value 0/1)."""
+        if self.truth_table is None:
+            raise ValueError(f"cell {self.name!r} is not a LUT")
+        index = 0
+        for bit, value in enumerate(input_values):
+            if value:
+                index |= 1 << bit
+        return (self.truth_table >> index) & 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Cell({self.cell_id}, {self.name!r}, {self.ctype.name}, "
+            f"in={self.inputs}, out={self.output})"
+        )

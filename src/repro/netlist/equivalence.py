@@ -1,0 +1,60 @@
+"""Logical-equivalence bookkeeping used by implicit unification.
+
+The paper's replication is *implicit*: the embedder gives a placement-cost
+discount to locations occupied by a cell logically equivalent to the tree
+node being embedded, and "over the course of multiple optimizations, we
+may have more than two copies of a cell.  Placement costs are assigned
+accordingly ... (i.e., placement with any logically equivalent cell
+receives a discounted cost, not only with the immediate source of the
+replication)" (Section III).
+
+Equivalence here is the replica-lineage relation: every cell starts in a
+singleton class, and :meth:`repro.netlist.netlist.Netlist.replicate_cell`
+puts the replica in the original's class.  This module provides queries
+over those classes that the embedder, unifier and legalizer share.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.netlist.cells import Cell
+from repro.netlist.netlist import Netlist
+
+
+class EquivalenceIndex:
+    """A snapshot index of equivalence classes for fast lookup.
+
+    Rebuild (cheap, linear) after batches of netlist edits; the flow
+    rebuilds once per optimization iteration.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self._netlist = netlist
+        self._members: dict[int, list[int]] = defaultdict(list)
+        for cell in netlist.cells.values():
+            self._members[cell.eq_class].append(cell.cell_id)
+
+    def class_members(self, eq_class: int) -> list[int]:
+        """Live cell ids in the class (empty list for unknown classes)."""
+        return list(self._members.get(eq_class, ()))
+
+    def equivalents(self, cell: Cell | int) -> list[int]:
+        """Ids of *other* cells equivalent to ``cell``."""
+        cell = self._netlist._cell(cell)
+        return [cid for cid in self._members.get(cell.eq_class, ()) if cid != cell.cell_id]
+
+    def replica_count(self, cell: Cell | int) -> int:
+        """Number of live copies of the cell's function (>= 1)."""
+        cell = self._netlist._cell(cell)
+        return len(self._members.get(cell.eq_class, ()))
+
+    def classes_with_replicas(self) -> list[int]:
+        """Equivalence classes that currently have more than one member."""
+        return [eq for eq, members in self._members.items() if len(members) > 1]
+
+    def total_replicas(self) -> int:
+        """Total extra cells introduced by replication (sum over classes)."""
+        return sum(
+            len(members) - 1 for members in self._members.values() if len(members) > 1
+        )

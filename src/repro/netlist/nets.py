@@ -1,0 +1,49 @@
+"""Net model: a single-driver, multi-sink signal.
+
+A :class:`Net` records its driver cell and a list of *pins* — ``(cell_id,
+pin_index)`` pairs.  Pin-level sinks matter for this paper: the
+replication flow performs *fanout partitioning*, moving individual sink
+pins from an original cell's net to its replica's net, so a net must know
+exactly which input pin of which cell it feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: A sink pin: (cell id, input pin index on that cell).
+Pin = tuple[int, int]
+
+
+@dataclass
+class Net:
+    """A signal net.
+
+    Attributes:
+        net_id: Integer id unique within the owning netlist.
+        name: Human-readable name.
+        driver: Id of the driving cell, or ``None`` while under
+            construction.
+        sinks: Sink pins in insertion order.
+    """
+
+    net_id: int
+    name: str
+    driver: int | None = None
+    sinks: list[Pin] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        """Number of sink pins."""
+        return len(self.sinks)
+
+    def sink_cells(self) -> list[int]:
+        """Ids of cells fed by this net (with multiplicity)."""
+        return [cell_id for cell_id, _ in self.sinks]
+
+    def remove_sink(self, pin: Pin) -> None:
+        """Remove one sink pin; raises ``ValueError`` if absent."""
+        self.sinks.remove(pin)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Net({self.net_id}, {self.name!r}, drv={self.driver}, sinks={self.sinks})"

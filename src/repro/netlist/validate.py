@@ -1,0 +1,73 @@
+"""Structural validation of a netlist.
+
+Used throughout the test suite after every transformation to guarantee
+the replication flow never corrupts the design.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+def validate_netlist(netlist: Netlist, require_connected: bool = True) -> None:
+    """Check cross-reference consistency; raise :class:`NetlistError` on failure.
+
+    Checks performed:
+
+    * every net's driver exists and lists the net as its output;
+    * every net sink pin exists and points back at the net;
+    * every connected cell input pin appears exactly once in its net's
+      sink list;
+    * OUTPUT pads drive nothing; INPUT pads consume nothing;
+    * optionally (``require_connected``) every pin is connected;
+    * the combinational graph is acyclic.
+    """
+    for net in netlist.nets.values():
+        if net.driver is None:
+            raise NetlistError(f"net {net.name!r} has no driver")
+        driver = netlist.cells.get(net.driver)
+        if driver is None:
+            raise NetlistError(f"net {net.name!r} driven by missing cell {net.driver}")
+        if driver.output != net.net_id:
+            raise NetlistError(
+                f"net {net.name!r} claims driver {driver.name!r} "
+                f"but that cell outputs net {driver.output}"
+            )
+        seen: set[tuple[int, int]] = set()
+        for cell_id, pin in net.sinks:
+            if (cell_id, pin) in seen:
+                raise NetlistError(f"net {net.name!r} lists sink {(cell_id, pin)} twice")
+            seen.add((cell_id, pin))
+            sink = netlist.cells.get(cell_id)
+            if sink is None:
+                raise NetlistError(f"net {net.name!r} feeds missing cell {cell_id}")
+            if not 0 <= pin < sink.num_inputs:
+                raise NetlistError(f"net {net.name!r} feeds missing pin {pin} of {sink.name!r}")
+            if sink.inputs[pin] != net.net_id:
+                raise NetlistError(
+                    f"pin {pin} of {sink.name!r} does not point back at net {net.name!r}"
+                )
+
+    for cell in netlist.cells.values():
+        if cell.is_input_pad and cell.num_inputs:
+            raise NetlistError(f"input pad {cell.name!r} has input pins")
+        if cell.is_output_pad and cell.output is not None:
+            raise NetlistError(f"output pad {cell.name!r} drives a net")
+        if not cell.is_output_pad and cell.output is None:
+            raise NetlistError(f"cell {cell.name!r} has no output net")
+        if cell.output is not None and cell.output not in netlist.nets:
+            raise NetlistError(f"cell {cell.name!r} outputs missing net {cell.output}")
+        for pin, net_id in enumerate(cell.inputs):
+            if net_id is None:
+                if require_connected:
+                    raise NetlistError(f"pin {pin} of {cell.name!r} unconnected")
+                continue
+            if net_id not in netlist.nets:
+                raise NetlistError(f"pin {pin} of {cell.name!r} fed by missing net {net_id}")
+            if (cell.cell_id, pin) not in netlist.nets[net_id].sinks:
+                raise NetlistError(
+                    f"net {netlist.nets[net_id].name!r} does not list "
+                    f"pin {pin} of {cell.name!r}"
+                )
+
+    netlist.combinational_order()  # raises on a combinational cycle

@@ -1,0 +1,40 @@
+"""Placement substrate: VPR-style SA placer, wirelength model, legalizer."""
+
+from repro.place.annealer import AnnealStats, anneal
+from repro.place.hpwl import (
+    cell_wirelength,
+    crossing_factor,
+    net_bounding_box,
+    net_wirelength,
+    total_wirelength,
+)
+from repro.place.initial import random_placement
+from repro.place.legalizer import LegalizeResult, TimingDrivenLegalizer, legalize_placement
+from repro.place.placement import Placement, PlacementError
+from repro.place.serialize import placement_from_json, placement_to_json
+from repro.place.timing_driven import (
+    PlacementEvaluator,
+    place_timing_driven,
+    place_wirelength_driven,
+)
+
+__all__ = [
+    "AnnealStats",
+    "LegalizeResult",
+    "Placement",
+    "PlacementError",
+    "PlacementEvaluator",
+    "TimingDrivenLegalizer",
+    "anneal",
+    "cell_wirelength",
+    "crossing_factor",
+    "legalize_placement",
+    "net_bounding_box",
+    "net_wirelength",
+    "place_timing_driven",
+    "placement_from_json",
+    "placement_to_json",
+    "place_wirelength_driven",
+    "random_placement",
+    "total_wirelength",
+]

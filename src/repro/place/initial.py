@@ -1,0 +1,49 @@
+"""Initial placement construction.
+
+Random-but-deterministic starting points for the annealer: pads are
+scattered over the perimeter and logic cells over interior slots, with
+capacities respected, exactly like VPR's random start.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arch.fpga import FpgaArch
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement, PlacementError
+
+
+def random_placement(netlist: Netlist, arch: FpgaArch, seed: int = 0) -> Placement:
+    """Uniform random legal placement (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    placement = Placement(arch)
+
+    pads = sorted(
+        (c for c in netlist.cells.values() if c.ctype.is_pad), key=lambda c: c.cell_id
+    )
+    logic = sorted(
+        (c for c in netlist.cells.values() if not c.ctype.is_pad), key=lambda c: c.cell_id
+    )
+
+    pad_positions = [
+        slot for slot in arch.pad_slots() for _ in range(arch.pads_per_slot)
+    ]
+    logic_positions = [
+        slot for slot in arch.logic_slots() for _ in range(arch.clb_capacity)
+    ]
+    if len(pads) > len(pad_positions):
+        raise PlacementError(
+            f"{len(pads)} pads exceed pad capacity {len(pad_positions)} of {arch}"
+        )
+    if len(logic) > len(logic_positions):
+        raise PlacementError(
+            f"{len(logic)} logic cells exceed capacity {len(logic_positions)} of {arch}"
+        )
+    rng.shuffle(pad_positions)
+    rng.shuffle(logic_positions)
+    for cell, slot in zip(pads, pad_positions):
+        placement.place(cell, slot)
+    for cell, slot in zip(logic, logic_positions):
+        placement.place(cell, slot)
+    return placement

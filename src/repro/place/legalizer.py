@@ -1,0 +1,438 @@
+"""Timing-driven ripple-move legalization (Section V-A).
+
+After embedding/replication the placement usually has overfull slots.
+The legalizer resolves one overlap at a time:
+
+1. pick the first overfull slot in scan order;
+2. find up to four closest free slots (one per quadrant);
+3. build the *gain graph* — monotone rectilinear paths from the overfull
+   slot to each free slot, each edge labelled with the gain of moving the
+   occupying cell one step toward the target;
+4. pick the max-gain path and execute a ripple move along it, shifting
+   each cell by at most one slot;
+5. if a rippling cell lands on a logically equivalent cell, unify them
+   and end the pass.
+
+Gain is ``C_current - C_new`` with ``C = alpha * C_T + (1 - alpha) * C_W``:
+``C_W`` is the q(n)-corrected wirelength of the cell's incident nets and
+``C_T`` the squared slowest-path delay through the cell when that path is
+within 40% of critical (0 otherwise).  The paper uses ``alpha = 0.95``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.fpga import Slot
+from repro.netlist.netlist import Netlist
+from repro.place.hpwl import cell_wirelength
+from repro.place.placement import Placement
+from repro.timing.sta import TimingAnalysis, analyze
+
+
+@dataclass
+class LegalizeResult:
+    """Outcome of one :meth:`TimingDrivenLegalizer.legalize` call."""
+
+    resolved_overlaps: int = 0
+    ripple_moves: int = 0
+    unifications: list[tuple[int, int]] = field(default_factory=list)
+    success: bool = True
+
+
+class TimingDrivenLegalizer:
+    """Ripple-move legalizer with the composite timing/wire gain."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        alpha: float = 0.95,
+        near_critical_fraction: float = 0.4,
+        allow_unification: bool = True,
+    ) -> None:
+        self.netlist = netlist
+        self.placement = placement
+        self.alpha = alpha
+        self.near_critical_fraction = near_critical_fraction
+        self.allow_unification = allow_unification
+        self._analysis: TimingAnalysis | None = None
+        self._strict = True
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def _cell_cost(self, analysis: TimingAnalysis, cell_id: int, slot: Slot) -> float:
+        original = self.placement.slot_of(cell_id)
+        try:
+            if slot != original:
+                self.placement.place(self.netlist.cells[cell_id], slot)
+            wire = cell_wirelength(self.netlist, self.placement, cell_id)
+            timing = 0.0
+            worst = self._worst_path_through(analysis, cell_id)
+            threshold = (1.0 - self.near_critical_fraction) * analysis.critical_delay
+            if worst >= threshold:
+                timing = worst * worst
+        finally:
+            if slot != original:
+                self.placement.place(self.netlist.cells[cell_id], original)
+        return self.alpha * timing + (1.0 - self.alpha) * wire
+
+    def _worst_path_through(self, analysis: TimingAnalysis, cell_id: int) -> float:
+        """Slowest path through the cell at its *current placement slot*.
+
+        Recomputed from the neighbours' (analysis-time) arrival/required
+        values so that hypothetical slots are scored without a full STA.
+        """
+        cell = self.netlist.cells[cell_id]
+        model = self.placement.arch.delay_model
+        slot = self.placement.slot_of(cell_id)
+
+        if cell.is_timing_start:
+            worst_in = model.launch_delay(cell.is_ff)
+        else:
+            worst_in = 0.0
+            for net_id in cell.inputs:
+                if net_id is None:
+                    continue
+                driver = self.netlist.nets[net_id].driver
+                if driver is None or driver not in analysis.arrival:
+                    continue
+                dist = self.placement.arch.distance(
+                    self.placement.slot_of(driver), slot
+                )
+                worst_in = max(
+                    worst_in, analysis.arrival[driver] + model.wire_delay(dist)
+                )
+        if cell.is_timing_end and not cell.is_lut:
+            return worst_in + model.capture_delay(cell.is_ff)
+
+        at_output = worst_in + model.cell_delay(cell.is_lut)
+        worst_down = 0.0
+        for sink_id, _pin in self.netlist.fanout_pins(cell):
+            sink = self.netlist.cells[sink_id]
+            dist = self.placement.arch.distance(slot, self.placement.slot_of(sink_id))
+            wire = model.wire_delay(dist)
+            if sink.is_timing_end and not sink.is_lut:
+                downstream = wire + model.capture_delay(sink.is_ff)
+            else:
+                req = analysis.required.get(sink_id)
+                if req is None or req == float("inf"):
+                    continue
+                downstream = wire + model.cell_delay(True) + (
+                    analysis.critical_delay - req
+                )
+            worst_down = max(worst_down, downstream)
+        return at_output + worst_down
+
+    # ------------------------------------------------------------------
+    # Free-slot search and gain paths
+    # ------------------------------------------------------------------
+
+    def _closest_free_per_quadrant(self, center: Slot) -> list[Slot]:
+        free = self.placement.free_logic_slots()
+        best: dict[tuple[bool, bool], list[tuple[int, Slot]]] = {}
+        cx, cy = center
+        for slot in free:
+            dx, dy = slot[0] - cx, slot[1] - cy
+            quadrant = (dx >= 0, dy >= 0)
+            dist = abs(dx) + abs(dy)
+            best.setdefault(quadrant, []).append((dist, slot))
+        targets: list[Slot] = []
+        for candidates in best.values():
+            candidates.sort()
+            # Two nearest per quadrant: a slightly farther slot sometimes
+            # offers a much less damaging ripple corridor.
+            targets.extend(slot for _dist, slot in candidates[:2])
+        return sorted(targets)
+
+    def _best_gain_path(
+        self, analysis: TimingAnalysis, source: Slot, target: Slot
+    ) -> tuple[float, list[Slot]]:
+        """Max-gain monotone path source -> target over the bounding rect.
+
+        DP over the rectangle: ``best(u) = max over steps toward target of
+        edge_gain(u, v) + best(v)``; an edge's gain is the gain of moving
+        ``u``'s best occupant one step to ``v``.
+        """
+        sx, sy = source
+        tx, ty = target
+        step_x = 0 if tx == sx else (1 if tx > sx else -1)
+        step_y = 0 if ty == sy else (1 if ty > sy else -1)
+
+        xs = list(range(sx, tx + step_x, step_x)) if step_x else [sx]
+        ys = list(range(sy, ty + step_y, step_y)) if step_y else [sy]
+
+        best_gain: dict[Slot, float] = {target: 0.0}
+        best_next: dict[Slot, Slot | None] = {target: None}
+        for x in reversed(xs):
+            for y in reversed(ys):
+                slot = (x, y)
+                if slot == target:
+                    continue
+                candidates: list[tuple[float, Slot]] = []
+                for nxt in ((x + step_x, y), (x, y + step_y)):
+                    if nxt in best_gain:
+                        candidates.append((self._edge_gain(analysis, slot, nxt), nxt))
+                if not candidates:
+                    continue
+                gain, nxt = max(candidates, key=lambda item: item[0])
+                best_gain[slot] = gain + best_gain[nxt]
+                best_next[slot] = nxt
+        if source not in best_gain:
+            return float("-inf"), []
+        path = [source]
+        cursor: Slot | None = source
+        while cursor is not None and cursor != target:
+            cursor = best_next[cursor]
+            if cursor is not None:
+                path.append(cursor)
+        return best_gain[source], path
+
+    #: Gain assigned to edges that would displace a critical cell while
+    #: the strict pass is active (effectively forbids the move).
+    _FORBIDDEN = -1e15
+
+    def _edge_gain(self, analysis: TimingAnalysis, slot: Slot, nxt: Slot) -> float:
+        cell_id = self._pick_occupant(slot)
+        if cell_id is None:
+            return 0.0
+        if self._strict:
+            worst = self._worst_path_through(analysis, cell_id)
+            # A one-slot move can lengthen the cell's paths by up to two
+            # wire units; block the edge if that could set a new critical.
+            margin = 2.0 * self.placement.arch.delay_model.wire_delay_per_unit
+            if worst + margin >= analysis.critical_delay - 1e-9:
+                # Displacing a cell on the critical path would undo the
+                # embedding this legalization is cleaning up after; route
+                # the ripple around it (fall back only if impossible).
+                return self._FORBIDDEN
+        return self._cell_cost(analysis, cell_id, slot) - self._cell_cost(
+            analysis, cell_id, nxt
+        )
+
+    def _pick_occupant(self, slot: Slot) -> int | None:
+        """The occupant whose displacement hurts timing least.
+
+        "We observe that by moving cells that are on a critical path one
+        may degrade circuit performance" — so the ripple displaces the
+        *least* critical movable occupant of each slot.
+        """
+        occupants = self.placement.cells_at(slot)
+        movable = [cid for cid in occupants if not self.netlist.cells[cid].ctype.is_pad]
+        if not movable:
+            return None
+        if self._analysis is None:
+            return min(movable)
+        return min(
+            movable,
+            key=lambda cid: (self._worst_path_through(self._analysis, cid), cid),
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def legalize(self, max_overlaps: int = 10_000) -> LegalizeResult:
+        """Resolve all overfull logic slots; returns statistics.
+
+        ``result.success`` is False when free slots run out (the paper's
+        early-termination condition for very dense circuits).
+        """
+        result = LegalizeResult()
+        while result.resolved_overlaps < max_overlaps:
+            overfull = [
+                s for s in self.placement.overfull_slots() if self.placement.arch.is_logic_slot(s)
+            ]
+            if not overfull:
+                break
+            congested = overfull[0]
+            if not self.placement.free_logic_slots():
+                result.success = False
+                break
+            analysis = analyze(self.netlist, self.placement)
+            self._analysis = analysis
+            targets = self._closest_free_per_quadrant(congested)
+            self._strict = True
+            scored = [
+                self._best_gain_path(analysis, congested, target) for target in targets
+            ]
+            scored = [
+                (gain, path)
+                for gain, path in scored
+                if path and gain > self._FORBIDDEN / 2
+            ]
+            if scored:
+                _gain, path = max(scored, key=lambda item: item[0])
+                self._ripple(path, result)
+            else:
+                # No ripple corridor avoids critical cells.  Fall back to
+                # one exact direct move: relocate the cheapest (occupant,
+                # free slot) pair.  Unlike a ripple, a single move's cost
+                # is evaluated exactly — no step-interaction surprises on
+                # dense, timing-tight regions.
+                if not self._direct_move(analysis, congested, result):
+                    result.success = False
+                    break
+            result.resolved_overlaps += 1
+        return result
+
+    def _direct_move(
+        self, analysis: TimingAnalysis, congested: Slot, result: LegalizeResult
+    ) -> bool:
+        """Resolve one overlap by the least-damaging 1- or 2-move plan.
+
+        Plans considered, scored by the worst slowest-path among moved
+        cells (then total displacement):
+
+        * unify an occupant into a nearby logically equivalent cell when
+          no fanout pin's strict slack is violated;
+        * move one occupant directly to a free slot;
+        * clear an adjacent slot by sending its least-critical occupant
+          to a free slot, then shift our occupant one step into it — the
+          two-hop escape a plain ripple cannot express without marching
+          through critical territory.
+        """
+        occupants = [
+            cid
+            for cid in self.placement.cells_at(congested)
+            if not self.netlist.cells[cid].ctype.is_pad
+        ]
+        free = self.placement.free_logic_slots()
+        if not occupants or not free:
+            return False
+
+        if self.allow_unification and self._try_unify(analysis, occupants, result):
+            return True
+
+        def worst_at(cell_id: int, slot: Slot) -> float:
+            original = self.placement.slot_of(cell_id)
+            try:
+                if slot != original:
+                    self.placement.place(self.netlist.cells[cell_id], slot)
+                return self._worst_path_through(analysis, cell_id)
+            finally:
+                if slot != original:
+                    self.placement.place(self.netlist.cells[cell_id], original)
+
+        arch = self.placement.arch
+        best: tuple[float, int, list[tuple[int, Slot]]] | None = None
+
+        def consider(score: float, distance: int, moves: list[tuple[int, Slot]]) -> None:
+            nonlocal best
+            if best is None or (score, distance) < (best[0], best[1]):
+                best = (score, distance, moves)
+
+        for occupant in occupants:
+            origin = self.placement.slot_of(occupant)
+            for slot in free:
+                consider(
+                    worst_at(occupant, slot),
+                    arch.distance(origin, slot),
+                    [(occupant, slot)],
+                )
+            cx, cy = congested
+            for neighbour in ((cx + 1, cy), (cx - 1, cy), (cx, cy + 1), (cx, cy - 1)):
+                if not arch.is_logic_slot(neighbour):
+                    continue
+                blockers = [
+                    cid
+                    for cid in self.placement.cells_at(neighbour)
+                    if not self.netlist.cells[cid].ctype.is_pad
+                ]
+                if not blockers or self.placement.free_capacity(neighbour) > 0:
+                    continue
+                blocker = min(
+                    blockers,
+                    key=lambda cid: (self._worst_path_through(analysis, cid), cid),
+                )
+                step_worst = worst_at(occupant, neighbour)
+                for slot in free:
+                    score = max(step_worst, worst_at(blocker, slot))
+                    distance = 1 + arch.distance(neighbour, slot)
+                    consider(score, distance, [(blocker, slot), (occupant, neighbour)])
+
+        if best is None:
+            return False
+        _score, _distance, moves = best
+        for cell_id, slot in moves:
+            self.placement.place(self.netlist.cells[cell_id], slot)
+            result.ripple_moves += 1
+        return True
+
+    def _try_unify(
+        self,
+        analysis: TimingAnalysis,
+        occupants: list[int],
+        result: LegalizeResult,
+    ) -> bool:
+        for cell_id in occupants:
+            cell = self.netlist.cells[cell_id]
+            for other in self.netlist.equivalent_cells(cell):
+                other_slot = self.placement.get(other.cell_id)
+                if other_slot is None:
+                    continue
+                sinks_ok = all(
+                    analysis.arrival.get(other.cell_id, 0.0)
+                    + self.placement.arch.wire_delay(
+                        other_slot, self.placement.slot_of(s)
+                    )
+                    <= analysis.arrival.get(cell_id, 0.0)
+                    + self.placement.arch.wire_delay(
+                        self.placement.slot_of(cell_id), self.placement.slot_of(s)
+                    )
+                    + analysis.connection_slack_strict(cell_id, s, p)
+                    + 1e-9
+                    for s, p in self.netlist.fanout_pins(cell_id)
+                    if self.placement.get(s) is not None
+                )
+                if sinks_ok:
+                    self.netlist.unify(cell, other)
+                    self.placement.unplace(cell_id)
+                    result.unifications.append((cell_id, other.cell_id))
+                    return True
+        return False
+
+    def _ripple(self, path: list[Slot], result: LegalizeResult) -> None:
+        """Shift occupants one step each along ``path``.
+
+        The displaced occupant of each slot is chosen *before* the
+        incoming cell arrives, so no cell ever moves more than one slot
+        (the paper's explicit design rule).
+        """
+        moving = self._pick_occupant(path[0])
+        if moving is None:
+            return
+        for slot in path[1:]:
+            cell = self.netlist.cells[moving]
+            if self.allow_unification:
+                for other_id in self.placement.cells_at(slot):
+                    other = self.netlist.cells[other_id]
+                    if other.eq_class == cell.eq_class and other_id != moving:
+                        # Section V-A: unify and stop the current pass.
+                        self.netlist.unify(cell, other)
+                        self.placement.unplace(moving)
+                        result.unifications.append((moving, other_id))
+                        return
+            next_moving: int | None = None
+            if self.placement.occupancy(slot) >= self.placement.arch.slot_capacity(slot):
+                next_moving = self._pick_occupant(slot)
+            self.placement.place(cell, slot)
+            result.ripple_moves += 1
+            if next_moving is None:
+                return  # the slot had spare capacity: ripple complete
+            moving = next_moving
+
+
+def legalize_placement(
+    netlist: Netlist,
+    placement: Placement,
+    alpha: float = 0.95,
+    allow_unification: bool = True,
+) -> LegalizeResult:
+    """Convenience wrapper: legalize in place and return statistics."""
+    legalizer = TimingDrivenLegalizer(
+        netlist, placement, alpha=alpha, allow_unification=allow_unification
+    )
+    return legalizer.legalize()

@@ -1,0 +1,74 @@
+"""Placement save/load (JSON) — checkpoints between flow stages.
+
+A placement file stores the architecture dimensions and every cell's
+slot by *name* (names are stable across BLIF round-trips while ids are
+not), so a placement can be re-applied to a reparsed netlist.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.arch.fpga import FpgaArch
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+
+FORMAT_VERSION = 1
+
+
+def placement_to_json(netlist: Netlist, placement: Placement) -> str:
+    """Serialize a placement (cell-name -> slot) to a JSON string."""
+    arch = placement.arch
+    payload = {
+        "version": FORMAT_VERSION,
+        "arch": {
+            "width": arch.width,
+            "height": arch.height,
+            "lut_size": arch.lut_size,
+            "clb_capacity": arch.clb_capacity,
+            "pads_per_slot": arch.pads_per_slot,
+        },
+        "cells": {
+            netlist.cells[cid].name: list(placement.slot_of(cid))
+            for cid in placement.placed_cells()
+            if cid in netlist.cells
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def placement_from_json(
+    netlist: Netlist, text: str, arch: FpgaArch | None = None
+) -> Placement:
+    """Rebuild a placement for ``netlist`` from :func:`placement_to_json`.
+
+    Args:
+        netlist: The design (cells matched by name; all stored names must
+            exist).
+        text: JSON produced by :func:`placement_to_json`.
+        arch: Override architecture; by default one is reconstructed from
+            the stored dimensions (with the default delay model).
+
+    Raises:
+        ValueError: On version/name mismatches.
+    """
+    payload = json.loads(text)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported placement format {payload.get('version')!r}")
+    if arch is None:
+        stored = payload["arch"]
+        arch = FpgaArch(
+            width=stored["width"],
+            height=stored["height"],
+            lut_size=stored.get("lut_size", 4),
+            clb_capacity=stored.get("clb_capacity", 1),
+            pads_per_slot=stored.get("pads_per_slot", 2),
+        )
+    by_name = {cell.name: cell for cell in netlist.cells.values()}
+    placement = Placement(arch)
+    for name, slot in payload["cells"].items():
+        cell = by_name.get(name)
+        if cell is None:
+            raise ValueError(f"placement references unknown cell {name!r}")
+        placement.place(cell, tuple(slot))
+    return placement

@@ -1,0 +1,25 @@
+"""Routing substrate: grid routing graph, PathFinder, evaluation metrics."""
+
+from repro.route.metrics import (
+    RoutedTiming,
+    find_min_channel_width,
+    route_infinite,
+    route_low_stress,
+    routed_critical_delay,
+)
+from repro.route.pathfinder import NetRoute, RoutingResult, route_design
+from repro.route.rrgraph import RoutingGraph, Segment, segment
+
+__all__ = [
+    "NetRoute",
+    "RoutedTiming",
+    "RoutingGraph",
+    "RoutingResult",
+    "Segment",
+    "find_min_channel_width",
+    "route_design",
+    "route_infinite",
+    "route_low_stress",
+    "routed_critical_delay",
+    "segment",
+]

@@ -1,0 +1,246 @@
+"""Negotiated-congestion routing (PathFinder) over the grid graph.
+
+Each net is routed as a Steiner-ish tree grown by repeated shortest-path
+searches from the partially built tree to the nearest unreached sink.
+Congested segments get progressively more expensive across iterations
+(present-sharing) and accumulate history cost, until either no segment
+is over-used (success) or the iteration limit is hit (failure at this
+channel width).
+
+Setting ``channel_width`` to ``math.inf`` gives the paper's
+infinite-resource routing ``W∞`` — every net routes on its shortest
+tree, no congestion — which [18] argues is a good placement-evaluation
+metric; a finite width gives the low-stress ``W_ls`` protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.arch.fpga import Slot
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.route.rrgraph import RoutingGraph, Segment, segment
+
+
+@dataclass
+class NetRoute:
+    """Route tree of one net: segments used and per-sink hop distances."""
+
+    net_id: int
+    source: Slot
+    segments: list[Segment] = field(default_factory=list)
+    #: Hops from the source to each sink slot through the route tree.
+    sink_hops: dict[Slot, int] = field(default_factory=dict)
+
+    @property
+    def wirelength(self) -> int:
+        return len(self.segments)
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of :func:`route_design`."""
+
+    success: bool
+    iterations: int
+    channel_width: float
+    routes: dict[int, NetRoute] = field(default_factory=dict)
+    total_wirelength: int = 0
+    remaining_overuse: int = 0
+
+
+def route_design(
+    netlist: Netlist,
+    placement: Placement,
+    channel_width: float,
+    max_iterations: int = 20,
+    present_factor: float = 0.5,
+    present_growth: float = 1.6,
+    timing_driven: bool = True,
+) -> RoutingResult:
+    """Route every net; negotiate congestion until legal or give up.
+
+    With ``timing_driven`` (the default, matching the VPR flow the paper
+    evaluates with), each sink's expansion cost blends congestion with
+    path delay *from the source through the tree*, weighted by the
+    sink's placement-level criticality — so critical connections route
+    near-directly instead of detouring through shared Steiner trunks.
+    """
+    graph = RoutingGraph(placement.arch, channel_width)
+    nets = _routable_nets(netlist, placement, timing_driven)
+    routes: dict[int, NetRoute] = {}
+
+    pres = present_factor
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        for net_id, source, sinks, crits in nets:
+            old = routes.pop(net_id, None)
+            if old is not None:
+                for seg in old.segments:
+                    graph.release(seg)
+            routes[net_id] = _route_net(graph, net_id, source, sinks, pres, crits)
+            for seg in routes[net_id].segments:
+                graph.occupy(seg)
+        if graph.total_overuse() == 0:
+            break
+        graph.accrue_history()
+        pres *= present_growth
+    success = graph.total_overuse() == 0
+    return RoutingResult(
+        success=success,
+        iterations=iterations,
+        channel_width=channel_width,
+        routes=routes,
+        total_wirelength=graph.total_wirelength(),
+        remaining_overuse=graph.total_overuse(),
+    )
+
+
+def _routable_nets(
+    netlist: Netlist, placement: Placement, timing_driven: bool = True
+) -> list[tuple[int, Slot, list[Slot], dict[Slot, float]]]:
+    """Nets with at least one sink on a different slot, largest first.
+
+    Each net also carries per-sink-slot criticalities (max over the
+    connections terminating on that slot) from a placement-level STA.
+    """
+    analysis = None
+    if timing_driven:
+        from repro.timing.sta import analyze
+
+        analysis = analyze(netlist, placement)
+    nets = []
+    for net_id, net in netlist.nets.items():
+        if net.driver is None or not net.sinks:
+            continue
+        source = placement.slot_of(net.driver)
+        crits: dict[Slot, float] = {}
+        for cid, pin in net.sinks:
+            slot = placement.slot_of(cid)
+            if slot == source:
+                continue
+            crit = (
+                analysis.criticality(net.driver, cid, pin)
+                if analysis is not None
+                else 0.0
+            )
+            crits[slot] = max(crits.get(slot, 0.0), crit)
+        sinks = sorted(crits)
+        if sinks:
+            nets.append((net_id, source, sinks, crits))
+    # Route high-fanout nets first (they are hardest to negotiate).
+    nets.sort(key=lambda item: (-len(item[2]), item[0]))
+    return nets
+
+
+def _route_net(
+    graph: RoutingGraph,
+    net_id: int,
+    source: Slot,
+    sinks: list[Slot],
+    present_factor: float,
+    criticality: dict[Slot, float] | None = None,
+) -> NetRoute:
+    """Grow the net's route tree sink by sink, most critical first.
+
+    For a sink with criticality ``c`` the expansion cost per segment is
+    ``c + (1 - c) * congestion`` and the wavefront is seeded with each
+    tree node's hop distance from the source scaled by ``c`` — a critical
+    sink therefore prefers a short *source-to-sink* path over merely
+    hugging the existing trunk (VPR's timing-driven routing trade-off).
+    """
+    criticality = criticality or {}
+    route = NetRoute(net_id=net_id, source=source)
+    tree: set[Slot] = {source}
+    tree_segments: set[Segment] = set()
+    hops_from_source: dict[Slot, int] = {source: 0}
+    remaining = sorted(sinks, key=lambda s: (-criticality.get(s, 0.0), s))
+
+    for target in remaining:
+        if target in tree:
+            continue
+        crit = criticality.get(target, 0.0)
+        came_from = _dijkstra_to_target(
+            graph, tree, target, present_factor, crit, hops_from_source
+        )
+        if came_from is None:
+            break  # disconnected graph (cannot happen on grids)
+        parents = came_from
+        cursor = target
+        path = [cursor]
+        while cursor not in tree:
+            parent = parents[cursor]
+            seg = segment(parent, cursor)
+            if seg not in tree_segments:
+                tree_segments.add(seg)
+                route.segments.append(seg)
+            cursor = parent
+            path.append(cursor)
+        # ``cursor`` is the attachment point; fill hop distances forward.
+        base = hops_from_source[cursor]
+        for offset, slot in enumerate(reversed(path)):
+            hops_from_source.setdefault(slot, base + offset)
+            tree.add(slot)
+
+    route.sink_hops = _tree_hops(route, source, set(sinks))
+    return route
+
+
+def _dijkstra_to_target(
+    graph: RoutingGraph,
+    tree: set[Slot],
+    target: Slot,
+    present_factor: float,
+    crit: float,
+    hops_from_source: dict[Slot, int],
+):
+    """Cheapest blended-cost path from the route tree to ``target``.
+
+    Seeds carry ``crit * hops_from_source`` so that, for critical sinks,
+    attaching deep in the tree is correctly charged for the source-side
+    delay it implies.
+    """
+    heap: list[tuple[float, Slot]] = []
+    best: dict[Slot, float] = {}
+    for slot in tree:
+        seed = crit * hops_from_source.get(slot, 0)
+        if seed < best.get(slot, math.inf):
+            best[slot] = seed
+            heapq.heappush(heap, (seed, slot))
+    parents: dict[Slot, Slot] = {}
+    while heap:
+        cost, slot = heapq.heappop(heap)
+        if cost > best.get(slot, math.inf):
+            continue
+        if slot == target:
+            return parents
+        for neighbour in graph.neighbours(slot):
+            congestion = graph.congestion_cost(segment(slot, neighbour), present_factor)
+            step = crit + (1.0 - crit) * congestion
+            new_cost = cost + step
+            if new_cost < best.get(neighbour, math.inf) - 1e-12:
+                best[neighbour] = new_cost
+                parents[neighbour] = slot
+                heapq.heappush(heap, (new_cost, neighbour))
+    return None
+
+
+def _tree_hops(route: NetRoute, source: Slot, sinks: set[Slot]) -> dict[Slot, int]:
+    """Hop count from the source to each sink through the route tree."""
+    adjacency: dict[Slot, list[Slot]] = {}
+    for a, b in route.segments:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    hops = {source: 0}
+    stack = [source]
+    while stack:
+        slot = stack.pop()
+        for neighbour in adjacency.get(slot, ()):
+            if neighbour not in hops:
+                hops[neighbour] = hops[slot] + 1
+                stack.append(neighbour)
+    return {slot: hops[slot] for slot in sinks if slot in hops}

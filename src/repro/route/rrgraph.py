@@ -1,0 +1,95 @@
+"""Routing-resource graph for the grid FPGA.
+
+A deliberately coarse model in the spirit of VPR's evaluation protocol
+[18]: routing happens on the slot grid (logic + pad ring), every
+adjacency carries a *channel* with ``channel_width`` tracks, and a net
+occupies one track of every channel segment its route tree crosses.
+Uniform buffered switches (Section II-B) mean one segment = one unit of
+wire delay; the per-connection switch overhead is charged once per
+source->sink connection.
+
+This preserves exactly what the paper measures post-route: congestion
+(can the design route in W tracks?), routed wirelength (total segments),
+and routed critical path — while staying small enough to run a 20-circuit
+suite in Python.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.arch.fpga import FpgaArch, Slot
+
+#: A channel segment between two adjacent slots, canonically ordered.
+Segment = tuple[Slot, Slot]
+
+
+def segment(a: Slot, b: Slot) -> Segment:
+    """Canonical (order-independent) key for the channel between a and b."""
+    return (a, b) if a <= b else (b, a)
+
+
+class RoutingGraph:
+    """Grid routing graph with per-segment occupancy and history costs."""
+
+    def __init__(self, arch: FpgaArch, channel_width: float) -> None:
+        self.arch = arch
+        self.channel_width = channel_width
+        self._neighbours: dict[Slot, list[Slot]] = {}
+        self.usage: dict[Segment, int] = defaultdict(int)
+        self.history: dict[Segment, float] = defaultdict(float)
+
+        slots = set(arch.logic_slots()) | set(arch.pad_slots())
+        for slot in slots:
+            x, y = slot
+            self._neighbours[slot] = [
+                n
+                for n in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1))
+                if n in slots
+            ]
+
+    def neighbours(self, slot: Slot) -> list[Slot]:
+        return self._neighbours[slot]
+
+    def slots(self) -> list[Slot]:
+        return sorted(self._neighbours)
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+
+    def occupy(self, seg: Segment) -> None:
+        self.usage[seg] += 1
+
+    def release(self, seg: Segment) -> None:
+        self.usage[seg] -= 1
+        if self.usage[seg] <= 0:
+            del self.usage[seg]
+
+    def overuse(self, seg: Segment) -> int:
+        over = self.usage.get(seg, 0) - self.channel_width
+        return int(over) if over > 0 else 0
+
+    def total_overuse(self) -> int:
+        return sum(
+            int(used - self.channel_width)
+            for used in self.usage.values()
+            if used > self.channel_width
+        )
+
+    def total_wirelength(self) -> int:
+        """Total occupied segments (with multiplicity) — routed wire."""
+        return sum(self.usage.values())
+
+    def congestion_cost(self, seg: Segment, present_factor: float) -> float:
+        """PathFinder cost of using one more track of this segment."""
+        base = 1.0
+        present = self.usage.get(seg, 0)
+        over = max(0.0, present + 1 - self.channel_width)
+        return (base + self.history.get(seg, 0.0)) * (1.0 + present_factor * over)
+
+    def accrue_history(self, increment: float = 1.0) -> None:
+        """Add history cost on every currently over-used segment."""
+        for seg, used in self.usage.items():
+            if used > self.channel_width:
+                self.history[seg] += increment * (used - self.channel_width)

@@ -1,0 +1,33 @@
+"""Timing substrate: STA, slowest-paths trees, bounds, monotonicity."""
+
+from repro.timing.bounds import delay_lower_bound, endpoint_lower_bound
+from repro.timing.graph import cone_connections, fanin_cone, min_logic_depth
+from repro.timing.monotonicity import (
+    all_endpoint_paths_monotone,
+    critical_path_stats,
+    is_monotone,
+    locally_nonmonotone_cells,
+    nonmonotone_ratio,
+    path_length,
+)
+from repro.timing.spt import SlowestPathsTree, build_spt
+from repro.timing.sta import Endpoint, TimingAnalysis, analyze
+
+__all__ = [
+    "Endpoint",
+    "SlowestPathsTree",
+    "TimingAnalysis",
+    "all_endpoint_paths_monotone",
+    "analyze",
+    "build_spt",
+    "cone_connections",
+    "critical_path_stats",
+    "delay_lower_bound",
+    "endpoint_lower_bound",
+    "fanin_cone",
+    "is_monotone",
+    "locally_nonmonotone_cells",
+    "min_logic_depth",
+    "nonmonotone_ratio",
+    "path_length",
+]

@@ -1,0 +1,61 @@
+"""Delay lower bound (Section II-C).
+
+"From the tradeoff curve, we pick the cheapest solution that is faster
+than the precomputed lower bound on the best possible worst delay of the
+circuit (which is in general limited by distance between PIs and primary
+outputs and number of logic blocks in between)."
+
+For each timing end point we bound the best achievable path delay from
+each start point in its cone by: launch overhead + linear wire delay of
+the *direct* start-to-end distance + intrinsic delay of the *minimum*
+number of LUT stages on any connecting path + capture overhead.  No
+placement of movable LUTs can beat this, because interconnect delay is a
+metric (triangle inequality) and logic stages cannot be removed by
+replication.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.timing.graph import fanin_cone, min_logic_depth
+from repro.timing.sta import Endpoint
+
+
+def endpoint_lower_bound(
+    netlist: Netlist, placement: Placement, endpoint: Endpoint
+) -> float:
+    """Best possible path delay into one timing end point."""
+    model = placement.arch.delay_model
+    sink_id, _pin = endpoint
+    sink = netlist.cells[sink_id]
+    depth = min_logic_depth(netlist, endpoint)
+    cone = fanin_cone(netlist, endpoint)
+    bound = 0.0
+    for cid in cone:
+        cell = netlist.cells[cid]
+        if not cell.is_timing_start:
+            continue
+        stages = depth.get(cid)
+        if stages is None:
+            continue
+        distance = placement.distance(cid, sink_id)
+        candidate = (
+            model.launch_delay(cell.is_ff)
+            + model.wire_delay(distance)
+            + stages * model.lut_delay
+            + model.capture_delay(sink.is_ff)
+        )
+        bound = max(bound, candidate)
+    return bound
+
+
+def delay_lower_bound(netlist: Netlist, placement: Placement) -> float:
+    """Best possible clock period over all end points (fixed pad/FF sites)."""
+    bound = 0.0
+    for cell in netlist.cells.values():
+        if cell.is_timing_end and cell.inputs and cell.inputs[0] is not None:
+            bound = max(
+                bound, endpoint_lower_bound(netlist, placement, (cell.cell_id, 0))
+            )
+    return bound

@@ -1,0 +1,97 @@
+"""Timing-graph helpers: connections and fanin cones.
+
+The timing graph is implicit in the netlist (one node per cell output,
+one edge per placed connection); this module provides the traversals the
+SPT/ε-SPT construction and the delay lower bound need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netlist.netlist import Netlist
+from repro.timing.sta import Endpoint
+
+
+def fanin_cone(netlist: Netlist, endpoint: Endpoint) -> set[int]:
+    """Cell ids in the combinational fanin cone of a timing end point.
+
+    The cone contains the endpoint cell itself, every LUT feeding it
+    combinationally, and the timing start points (input pads, FFs) that
+    terminate the traversal.  FF *D inputs* are not traversed through —
+    they belong to other paths.
+    """
+    sink_id, _pin = endpoint
+    cone = {sink_id}
+    queue = deque([sink_id])
+    while queue:
+        cid = queue.popleft()
+        cell = netlist.cells[cid]
+        if cell.is_timing_start and cid != sink_id:
+            continue  # start point: a cone leaf
+        for net_id in cell.inputs:
+            if net_id is None:
+                continue
+            driver = netlist.nets[net_id].driver
+            if driver is not None and driver not in cone:
+                cone.add(driver)
+                queue.append(driver)
+    return cone
+
+
+def cone_connections(
+    netlist: Netlist, cone: set[int]
+) -> list[tuple[int, int, int]]:
+    """All (driver, sink, pin) connections internal to ``cone``.
+
+    Connections into a start point's D pin are excluded — within a cone
+    only the start point's *output* participates.
+    """
+    connections: list[tuple[int, int, int]] = []
+    for cid in cone:
+        cell = netlist.cells[cid]
+        for pin, net_id in enumerate(cell.inputs):
+            if net_id is None:
+                continue
+            driver = netlist.nets[net_id].driver
+            if driver is not None and driver in cone:
+                connections.append((driver, cid, pin))
+    return connections
+
+
+def min_logic_depth(netlist: Netlist, endpoint: Endpoint) -> dict[int, int]:
+    """Minimum number of LUTs between each cone cell's output and ``endpoint``.
+
+    Returns a map from cell id to the minimum count of LUT stages a
+    signal leaving that cell must traverse before being captured.  Used
+    by the delay lower bound (Section II-C: the best possible delay is
+    "limited by distance between PIs and POs and number of logic blocks
+    in between").
+    """
+    sink_id, pin = endpoint
+    cone = fanin_cone(netlist, endpoint)
+    depth: dict[int, int] = {}
+    net_id = netlist.cells[sink_id].inputs[pin] if netlist.cells[sink_id].inputs else None
+    if net_id is None:
+        return depth
+    frontier_driver = netlist.nets[net_id].driver
+    if frontier_driver is None:
+        return depth
+    queue = deque([frontier_driver])
+    depth[frontier_driver] = 0
+    while queue:
+        cid = queue.popleft()
+        cell = netlist.cells[cid]
+        if cell.is_timing_start:
+            continue
+        stage = depth[cid] + (1 if cell.is_lut else 0)
+        for in_net in cell.inputs:
+            if in_net is None:
+                continue
+            driver = netlist.nets[in_net].driver
+            if driver is None or driver not in cone:
+                continue
+            if driver not in depth or stage < depth[driver]:
+                depth[driver] = stage
+                queue.append(driver)
+    return depth

@@ -1,0 +1,91 @@
+"""Path monotonicity metrics (Sections I and VII-B).
+
+A placed path ``v1, ..., vk`` is *monotone* if the sum of consecutive
+rectilinear hops equals the distance between its endpoints — i.e., no
+hop detours.  The paper motivates replication by the observation that
+critical paths of good placements are often highly non-monotone, defines
+*local* monotonicity over length-3 windows (the criterion of the
+Beraudo-Lillis baseline), and reports reaching "a theoretical lower
+bound, i.e., all FF to FF paths are monotone" for several circuits.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.timing.sta import TimingAnalysis
+
+
+def path_length(placement: Placement, path: list[int]) -> int:
+    """Sum of consecutive Manhattan hop lengths along a placed path."""
+    return sum(
+        placement.distance(path[i], path[i + 1]) for i in range(len(path) - 1)
+    )
+
+
+def is_monotone(placement: Placement, path: list[int]) -> bool:
+    """True if the path takes no detour between its two end cells."""
+    if len(path) < 2:
+        return True
+    direct = placement.distance(path[0], path[-1])
+    return path_length(placement, path) == direct
+
+
+def nonmonotone_ratio(placement: Placement, path: list[int]) -> float:
+    """Detour factor: traversed length / direct endpoint distance (>= 1).
+
+    Returns 1.0 for degenerate paths (endpoints coincident or < 2 cells).
+    """
+    if len(path) < 2:
+        return 1.0
+    direct = placement.distance(path[0], path[-1])
+    traversed = path_length(placement, path)
+    if direct == 0:
+        return 1.0 if traversed == 0 else float(traversed + 1)
+    return traversed / direct
+
+
+def locally_nonmonotone_cells(placement: Placement, path: list[int]) -> list[int]:
+    """Cells v2 of windows (v1, v2, v3) where visiting v2 is a detour.
+
+    This is the replication-candidate criterion of [Beraudo-Lillis 03]:
+    ``d(v1, v3) < d(v1, v2) + d(v2, v3)``.
+    """
+    candidates = []
+    for i in range(len(path) - 2):
+        v1, v2, v3 = path[i], path[i + 1], path[i + 2]
+        direct = placement.distance(v1, v3)
+        through = placement.distance(v1, v2) + placement.distance(v2, v3)
+        if direct < through:
+            candidates.append(v2)
+    return candidates
+
+
+def all_endpoint_paths_monotone(
+    netlist: Netlist, placement: Placement, analysis: TimingAnalysis
+) -> bool:
+    """True if every endpoint's *slowest* path is monotone.
+
+    A cheap witness for the paper's "theoretical lower bound" condition:
+    if even the slowest path into every end point is straight, replication
+    has nothing left to straighten (for fixed FF locations).
+    """
+    for endpoint in analysis.endpoint_arrival:
+        path = analysis.path_to_endpoint(endpoint)
+        if not is_monotone(placement, path):
+            return False
+    return True
+
+
+def critical_path_stats(
+    netlist: Netlist, placement: Placement, analysis: TimingAnalysis
+) -> dict[str, float]:
+    """Summary statistics used by examples and the Fig 1-3 benches."""
+    path = analysis.critical_path()
+    return {
+        "length_cells": float(len(path)),
+        "traversed": float(path_length(placement, path)),
+        "direct": float(placement.distance(path[0], path[-1])) if len(path) >= 2 else 0.0,
+        "ratio": nonmonotone_ratio(placement, path),
+        "locally_nonmonotone": float(len(locally_nonmonotone_cells(placement, path))),
+    }

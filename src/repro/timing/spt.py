@@ -1,0 +1,127 @@
+"""Slowest-paths tree (SPT) and ε-SPT extraction (Section III, V-B).
+
+"The SPT can be thought of as the result of finding a longest paths tree
+from the critical sink in the timing graph with the edges reversed ...
+Finding this tree is trivial once static timing analysis has completed."
+
+For a chosen timing end point, every cone cell ``u`` gets:
+
+* ``downstream[u]`` — the largest delay from u's output to the sink;
+* a unique *tree parent* — the fanout connection realizing that maximum —
+  so the tree edges all point toward the root (the critical sink);
+* inclusion in the **ε-SPT** iff the slowest path through u is within ε
+  of the sink's path delay.  Inclusion is upward-closed along tree edges,
+  so the ε-SPT is a connected subtree containing the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.netlist import Netlist
+from repro.timing.graph import fanin_cone
+from repro.timing.sta import Endpoint, TimingAnalysis
+
+
+@dataclass
+class SlowestPathsTree:
+    """SPT rooted at a timing end point.
+
+    Attributes:
+        endpoint: The (cell, pin) sink the tree is rooted at.
+        sink_delay: Path delay at the sink (its endpoint arrival).
+        downstream: Max delay from each cone cell's output to the sink.
+        parent: Tree edge of each cone cell: (parent cell id, pin index on
+            the parent), or ``None`` for the endpoint cell itself.
+        path_delay: Slowest path delay through each cone cell.
+    """
+
+    endpoint: Endpoint
+    sink_delay: float
+    downstream: dict[int, float] = field(default_factory=dict)
+    parent: dict[int, Endpoint | None] = field(default_factory=dict)
+    path_delay: dict[int, float] = field(default_factory=dict)
+
+    def epsilon_nodes(self, epsilon: float) -> set[int]:
+        """Cone cells whose slowest path is within ε of the sink delay."""
+        threshold = self.sink_delay - epsilon - 1e-12
+        return {cid for cid, delay in self.path_delay.items() if delay >= threshold}
+
+    def epsilon_tree_edges(self, epsilon: float) -> list[tuple[int, Endpoint]]:
+        """(child, (parent, pin)) tree edges with both ends in the ε-SPT."""
+        nodes = self.epsilon_nodes(epsilon)
+        edges = []
+        for cid in nodes:
+            par = self.parent[cid]
+            if par is not None and par[0] in nodes:
+                edges.append((cid, par))
+        return edges
+
+
+def build_spt(
+    netlist: Netlist,
+    analysis: TimingAnalysis,
+    endpoint: Endpoint | None = None,
+) -> SlowestPathsTree:
+    """Build the SPT rooted at ``endpoint`` (default: the critical sink)."""
+    if endpoint is None:
+        endpoint = analysis.critical_endpoint
+    if endpoint is None:
+        raise ValueError("design has no timing end points")
+    sink_id, sink_pin = endpoint
+    sink = netlist.cells[sink_id]
+    model = analysis._model
+
+    cone = fanin_cone(netlist, endpoint)
+    order = [cid for cid in netlist.combinational_order() if cid in cone]
+
+    downstream: dict[int, float] = {}
+    parent: dict[int, Endpoint | None] = {sink_id: None}
+    downstream[sink_id] = model.capture_delay(sink.is_ff)
+
+    for cid in reversed(order):
+        if cid == sink_id:
+            continue
+        best: float | None = None
+        best_parent: Endpoint | None = None
+        for fan_cell, fan_pin in netlist.fanout_pins(cid):
+            if fan_cell not in cone:
+                continue
+            fan = netlist.cells[fan_cell]
+            if fan_cell == sink_id:
+                if fan_pin != sink_pin:
+                    continue
+                through = 0.0
+            elif fan.is_lut:
+                through = model.cell_delay(True)
+            else:
+                continue  # another endpoint: not part of this cone's paths
+            if fan_cell not in downstream:
+                continue
+            wire = analysis.connection_delay(cid, fan_cell)
+            candidate = wire + through + downstream[fan_cell]
+            if best is None or candidate > best or (
+                candidate == best
+                and best_parent is not None
+                and (fan_cell, fan_pin) < best_parent
+            ):
+                best = candidate
+                best_parent = (fan_cell, fan_pin)
+        if best is not None:
+            downstream[cid] = best
+            parent[cid] = best_parent
+
+    path_delay = {
+        cid: analysis.arrival[cid] + downstream[cid]
+        for cid in downstream
+        if cid in analysis.arrival
+    }
+    path_delay[sink_id] = analysis.endpoint_arrival[endpoint]
+
+    return SlowestPathsTree(
+        endpoint=endpoint,
+        sink_delay=analysis.endpoint_arrival[endpoint],
+        downstream=downstream,
+        parent=parent,
+        path_delay=path_delay,
+    )

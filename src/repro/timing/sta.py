@@ -1,0 +1,271 @@
+"""Static timing analysis over a placed netlist.
+
+Implements the placement-level delay estimator of Section II-B: every
+source->sink connection costs a linear function of its Manhattan length,
+plus intrinsic LUT delay, FF clock-to-Q / setup, and pad delays.  Single
+clock domain; timing start points are primary inputs and FF Q outputs,
+end points are primary outputs and FF D inputs ("FF to FF paths",
+Section I).
+
+The analysis provides everything the rest of the flow consumes:
+
+* arrival times and the critical endpoint/delay (clock period);
+* the critical path as a cell sequence (for the local-replication
+  baseline and for monotonicity statistics);
+* required times, per-connection slack and VPR-style criticality (for
+  the timing-driven placer and legalizer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.delay import LinearDelayModel
+from repro.arch.fpga import FpgaArch
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+
+#: A timing end point: (cell id, input pin index).
+Endpoint = tuple[int, int]
+
+
+@dataclass
+class TimingAnalysis:
+    """Results of one STA pass (immutable snapshot).
+
+    Attributes:
+        arrival: Arrival time at each cell's *output* (start points
+            included; OUTPUT pads excluded — they have no output).
+        arrival_pred: For each cell, the (driver cell, pin) connection
+            that determined its output arrival, or ``None`` at start
+            points.  Enables critical-path backtracking.
+        endpoint_arrival: Path delay at each timing end point, including
+            capture overhead (setup / pad delay).
+        critical_delay: Maximum endpoint arrival — the clock period.
+        critical_endpoint: The endpoint achieving ``critical_delay``.
+        required: Required time at each cell output under a clock target
+            equal to ``critical_delay`` (so worst slack is exactly 0).
+    """
+
+    arrival: dict[int, float]
+    arrival_pred: dict[int, Endpoint | None]
+    endpoint_arrival: dict[Endpoint, float]
+    critical_delay: float
+    critical_endpoint: Endpoint | None
+    required: dict[int, float]
+    required_strict: dict[int, float]
+    _netlist: Netlist
+    _placement: Placement
+    _model: LinearDelayModel
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def connection_delay(self, driver_id: int, sink_id: int) -> float:
+        """Interconnect delay of the placed connection driver -> sink."""
+        dist = self._placement.distance(driver_id, sink_id)
+        return self._model.wire_delay(dist)
+
+    def connection_slack(self, driver_id: int, sink_id: int, pin: int) -> float:
+        """Slack of one connection under the critical-delay clock target."""
+        return self._slack(driver_id, sink_id, self.required, self.critical_delay)
+
+    def connection_slack_strict(self, driver_id: int, sink_id: int, pin: int) -> float:
+        """Slack under per-endpoint targets: >= 0 moves never worsen any
+        end point's current arrival (see ``required_strict``)."""
+        target = self.critical_delay
+        sink = self._netlist.cells[sink_id]
+        if sink.is_timing_end and not sink.is_lut:
+            target = self.endpoint_arrival.get((sink_id, 0), self.critical_delay)
+        return self._slack(driver_id, sink_id, self.required_strict, target)
+
+    def _slack(
+        self,
+        driver_id: int,
+        sink_id: int,
+        required: dict[int, float],
+        endpoint_target: float,
+    ) -> float:
+        sink = self._netlist.cells[sink_id]
+        wire = self.connection_delay(driver_id, sink_id)
+        at_input = self.arrival[driver_id] + wire
+        if sink.is_timing_end and not sink.is_lut:
+            required_in = endpoint_target - self._model.capture_delay(sink.is_ff)
+        else:
+            required_in = required[sink_id] - self._model.cell_delay(sink.is_lut)
+        return required_in - at_input
+
+    def criticality(self, driver_id: int, sink_id: int, pin: int) -> float:
+        """VPR criticality of a connection: ``1 - slack / T_crit`` in [0, 1]."""
+        if self.critical_delay <= 0:
+            return 0.0
+        slack = self.connection_slack(driver_id, sink_id, pin)
+        return max(0.0, min(1.0, 1.0 - slack / self.critical_delay))
+
+    def cell_worst_path_delay(self, cell_id: int) -> float:
+        """Delay of the slowest path *through* the cell's output.
+
+        Used by the legalizer's timing cost (Section V-A).
+        """
+        cell = self._netlist.cells[cell_id]
+        if cell.is_output_pad:
+            return self.endpoint_arrival.get((cell_id, 0), 0.0)
+        arr = self.arrival.get(cell_id)
+        req = self.required.get(cell_id)
+        if arr is None or req is None or math.isinf(req):
+            return 0.0
+        return arr + (self.critical_delay - req)
+
+    def critical_path(self) -> list[int]:
+        """Cell ids along the critical path, start point first.
+
+        Includes the endpoint cell last.  Empty if the design has no
+        endpoint (degenerate netlists in tests).
+        """
+        if self.critical_endpoint is None:
+            return []
+        return self.path_to_endpoint(self.critical_endpoint)
+
+    def path_to_endpoint(self, endpoint: Endpoint) -> list[int]:
+        """Slowest path terminating at ``endpoint``, start point first."""
+        sink_id, pin = endpoint
+        sink = self._netlist.cells[sink_id]
+        path = [sink_id]
+        net_id = sink.inputs[pin]
+        current = self._netlist.nets[net_id].driver if net_id is not None else None
+        while current is not None:
+            path.append(current)
+            pred = self.arrival_pred.get(current)
+            current = pred[0] if pred is not None else None
+        path.reverse()
+        return path
+
+
+def analyze(
+    netlist: Netlist,
+    placement: Placement,
+    arch: FpgaArch | None = None,
+) -> TimingAnalysis:
+    """Run STA; all cells referenced by the netlist must be placed."""
+    model = (arch.delay_model if arch is not None else placement.arch.delay_model)
+    order = netlist.combinational_order()
+
+    arrival: dict[int, float] = {}
+    arrival_pred: dict[int, Endpoint | None] = {}
+    endpoint_arrival: dict[Endpoint, float] = {}
+
+    for cid in order:
+        cell = netlist.cells[cid]
+        if cell.is_timing_start:
+            arrival[cid] = model.launch_delay(cell.is_ff)
+            arrival_pred[cid] = None
+        if cell.is_lut:
+            best = 0.0
+            best_pred: Endpoint | None = None
+            for pin, net_id in enumerate(cell.inputs):
+                if net_id is None:
+                    continue
+                driver = netlist.nets[net_id].driver
+                assert driver is not None
+                dist = placement.arch.distance(
+                    placement.slot_of(driver), placement.slot_of(cid)
+                )
+                at = arrival[driver] + model.wire_delay(dist)
+                if best_pred is None or at > best:
+                    best = at
+                    best_pred = (driver, pin)
+            arrival[cid] = best + model.cell_delay(True)
+            arrival_pred[cid] = best_pred
+    # End-point arrivals in a second pass: an FF is both a start point
+    # (early in topological order) and an end point whose D driver may be
+    # ordered after it, so D-pin arrivals need all outputs settled first.
+    for cid in order:
+        cell = netlist.cells[cid]
+        if not cell.is_timing_end:
+            continue
+        pin = 0
+        net_id = cell.inputs[pin] if cell.inputs else None
+        if net_id is not None:
+            driver = netlist.nets[net_id].driver
+            assert driver is not None
+            dist = placement.arch.distance(
+                placement.slot_of(driver), placement.slot_of(cid)
+            )
+            endpoint_arrival[(cid, pin)] = (
+                arrival[driver]
+                + model.wire_delay(dist)
+                + model.capture_delay(cell.is_ff)
+            )
+
+    if endpoint_arrival:
+        critical_endpoint, critical_delay = max(
+            endpoint_arrival.items(), key=lambda item: (item[1], -item[0][0])
+        )
+    else:
+        critical_endpoint, critical_delay = None, 0.0
+
+    # Backward pass: required times at cell outputs.  All end-point
+    # constraints are seeded first (an FF's D driver can sit anywhere in
+    # the topological order), then LUTs propagate in reverse order.
+    # Two backward passes with different targets:
+    #  * ``required``       — the usual clock target (the critical delay):
+    #    worst slack is exactly zero; drives placer criticalities.
+    #  * ``required_strict`` — each end point is constrained to its OWN
+    #    current arrival: a transform whose strict slacks stay >= 0 never
+    #    makes ANY end point worse than it is now.  Unification and
+    #    legalization budget against this, so fresh sub-critical gains on
+    #    one sink cannot be silently traded away up to the clock period.
+    required: dict[int, float] = {cid: math.inf for cid in arrival}
+    required_strict: dict[int, float] = {cid: math.inf for cid in arrival}
+    for cid in order:
+        cell = netlist.cells[cid]
+        if cell.is_timing_end and cell.inputs:
+            net_id = cell.inputs[0]
+            if net_id is not None:
+                driver = netlist.nets[net_id].driver
+                assert driver is not None
+                dist = placement.arch.distance(
+                    placement.slot_of(driver), placement.slot_of(cid)
+                )
+                wire_and_capture = model.capture_delay(cell.is_ff) + model.wire_delay(dist)
+                req = critical_delay - wire_and_capture
+                if req < required[driver]:
+                    required[driver] = req
+                own = endpoint_arrival.get((cid, 0), critical_delay) - wire_and_capture
+                if own < required_strict[driver]:
+                    required_strict[driver] = own
+    for cid in reversed(order):
+        cell = netlist.cells[cid]
+        if cell.is_lut:
+            req_at_inputs = required[cid] - model.cell_delay(True)
+            strict_at_inputs = required_strict[cid] - model.cell_delay(True)
+            for net_id in cell.inputs:
+                if net_id is None:
+                    continue
+                driver = netlist.nets[net_id].driver
+                assert driver is not None
+                dist = placement.arch.distance(
+                    placement.slot_of(driver), placement.slot_of(cid)
+                )
+                wire = model.wire_delay(dist)
+                req = req_at_inputs - wire
+                if req < required[driver]:
+                    required[driver] = req
+                strict = strict_at_inputs - wire
+                if strict < required_strict[driver]:
+                    required_strict[driver] = strict
+
+    return TimingAnalysis(
+        arrival=arrival,
+        arrival_pred=arrival_pred,
+        endpoint_arrival=endpoint_arrival,
+        critical_delay=critical_delay,
+        critical_endpoint=critical_endpoint,
+        required=required,
+        required_strict=required_strict,
+        _netlist=netlist,
+        _placement=placement,
+        _model=model,
+    )

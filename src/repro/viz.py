@@ -1,0 +1,133 @@
+"""Text-mode visualization of placements, paths and trade-off curves.
+
+Terminal-friendly renderings used by the examples and handy when
+debugging the flow:
+
+* :func:`render_placement` — the FPGA grid with pads, logic occupancy,
+  overfull slots and an optional highlighted path;
+* :func:`render_critical_path` — the current critical path overlaid on
+  the grid;
+* :func:`render_trade_off` — the embedder's cost/delay staircase;
+* :func:`render_history` — per-iteration delay trajectory of the flow.
+
+Everything returns plain strings (no terminal control codes), so output
+can be dumped into logs and golden files.
+"""
+
+from __future__ import annotations
+
+from repro.core.embedder import EmbeddingResult
+from repro.core.flow import IterationRecord
+from repro.netlist.netlist import Netlist
+from repro.place.placement import Placement
+from repro.timing.sta import TimingAnalysis
+
+#: Glyphs for grid cells.
+_EMPTY = "."
+_PAD = "o"
+_PAD_USED = "@"
+_CORNER = " "
+_OVERFULL = "#"
+_PATH = "*"
+
+
+def render_placement(
+    netlist: Netlist,
+    placement: Placement,
+    highlight: list[int] | None = None,
+) -> str:
+    """Render the FPGA as a character grid, origin at the bottom-left.
+
+    Logic slots show their occupancy (``.`` empty, ``1``-``9`` cells,
+    ``#`` overfull); pad positions show ``o``/``@`` (free/used); cells of
+    ``highlight`` (e.g. a critical path) are drawn as ``*``.
+    """
+    arch = placement.arch
+    marked = set()
+    for cell_id in highlight or ():
+        slot = placement.get(cell_id)
+        if slot is not None:
+            marked.add(slot)
+
+    used_pads = {
+        placement.get(c.cell_id)
+        for c in netlist.cells.values()
+        if c.ctype.is_pad and placement.get(c.cell_id) is not None
+    }
+
+    rows: list[str] = []
+    for y in range(arch.height + 1, -1, -1):
+        row: list[str] = []
+        for x in range(arch.width + 2):
+            slot = (x, y)
+            if slot in marked:
+                row.append(_PATH)
+            elif arch.is_logic_slot(slot):
+                count = placement.occupancy(slot)
+                if count == 0:
+                    row.append(_EMPTY)
+                elif count > arch.slot_capacity(slot):
+                    row.append(_OVERFULL)
+                else:
+                    row.append(str(min(count, 9)))
+            elif arch.is_pad_slot(slot):
+                row.append(_PAD_USED if slot in used_pads else _PAD)
+            else:
+                row.append(_CORNER)
+        rows.append("".join(row))
+    legend = (
+        f"{netlist.name}: {arch} | '.' empty  1-9 occupancy  '#' overfull  "
+        f"'o/@' pad  '*' highlighted"
+    )
+    return "\n".join(rows + [legend])
+
+
+def render_critical_path(
+    netlist: Netlist, placement: Placement, analysis: TimingAnalysis
+) -> str:
+    """The critical path overlaid on the placement grid, plus a listing."""
+    path = analysis.critical_path()
+    grid = render_placement(netlist, placement, highlight=path)
+    lines = [grid, "", f"critical path ({analysis.critical_delay:.2f}):"]
+    for cell_id in path:
+        cell = netlist.cells[cell_id]
+        lines.append(
+            f"  {cell.name:>12} {cell.ctype.name:<6} at {placement.slot_of(cell_id)}"
+            f"  arr {analysis.arrival.get(cell_id, float('nan')):.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_trade_off(result: EmbeddingResult, width: int = 50) -> str:
+    """ASCII staircase of the root's cost/delay trade-off curve."""
+    curve = result.trade_off()
+    if not curve:
+        return "(empty trade-off curve)"
+    costs = [c for c, _d in curve]
+    delays = [d for _c, d in curve]
+    c_lo, c_hi = min(costs), max(costs)
+    span = (c_hi - c_lo) or 1.0
+    lines = ["cost -> delay trade-off:"]
+    for cost, delay in curve:
+        bar = int((cost - c_lo) / span * width)
+        lines.append(f"  {cost:10.2f} |{'=' * bar:<{width}}| {delay:8.2f}")
+    return "\n".join(lines)
+
+
+def render_history(history: list[IterationRecord], width: int = 50) -> str:
+    """Per-iteration critical-delay trajectory (Fig. 14 companion)."""
+    if not history:
+        return "(no iterations)"
+    delays = [record.delay_after for record in history]
+    lo, hi = min(delays), max(delays + [history[0].delay_before])
+    span = (hi - lo) or 1.0
+    lines = ["iter   delay  (bar: relative to worst seen)   rep/uni cum"]
+    for record in history:
+        bar = int((record.delay_after - lo) / span * width)
+        flag = "R" if record.ff_relocated else (" " if not record.note else "!")
+        lines.append(
+            f"{record.iteration:>4} {record.delay_after:8.2f} "
+            f"|{'#' * bar:<{width}}| {flag} "
+            f"{record.replicated_cum:>3}/{record.unified_cum:<3}"
+        )
+    return "\n".join(lines)

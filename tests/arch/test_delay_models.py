@@ -1,0 +1,58 @@
+"""Unit tests for the delay models."""
+
+import pytest
+
+from repro.arch import ElmoreDelayModel, LinearDelayModel
+
+
+class TestLinearDelayModel:
+    def test_defaults_reasonable(self):
+        model = LinearDelayModel()
+        assert model.wire_delay(1) > 0
+        assert model.lut_delay > 0
+
+    def test_wire_delay_piecewise(self):
+        model = LinearDelayModel(wire_delay_per_unit=0.5, connection_delay=0.25)
+        assert model.wire_delay(0) == 0.0
+        assert model.wire_delay(1) == pytest.approx(0.75)
+        assert model.wire_delay(4) == pytest.approx(2.25)
+
+    def test_triangle_inequality_of_connections(self):
+        """One long connection never costs more than two shorter ones —
+        the property the delay lower bound (Section II-C) relies on."""
+        model = LinearDelayModel()
+        for a in range(1, 6):
+            for b in range(1, 6):
+                assert model.wire_delay(a + b) <= (
+                    model.wire_delay(a) + model.wire_delay(b) + 1e-12
+                )
+
+    def test_launch_capture(self):
+        model = LinearDelayModel(ff_clk_to_q=0.3, ff_setup=0.2, pad_delay=0.5)
+        assert model.launch_delay(True) == 0.3
+        assert model.launch_delay(False) == 0.5
+        assert model.capture_delay(True) == 0.2
+        assert model.capture_delay(False) == 0.5
+
+    def test_cell_delay(self):
+        model = LinearDelayModel(lut_delay=0.8)
+        assert model.cell_delay(True) == 0.8
+        assert model.cell_delay(False) == 0.0
+
+    def test_frozen(self):
+        model = LinearDelayModel()
+        with pytest.raises(Exception):
+            model.lut_delay = 2.0  # type: ignore[misc]
+
+
+class TestElmoreDelayModel:
+    def test_segment_delay_formula(self):
+        model = ElmoreDelayModel(unit_resistance=2.0, unit_capacitance=3.0)
+        # d = c * (R + r/2) with length 1.
+        assert model.segment_delay(10.0) == pytest.approx(3.0 * (10.0 + 1.0))
+
+    def test_length_scaling_superlinear(self):
+        model = ElmoreDelayModel()
+        short = model.segment_delay(model.driver_resistance, length=1.0)
+        long = model.segment_delay(model.driver_resistance, length=2.0)
+        assert long > 2 * short

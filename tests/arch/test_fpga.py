@@ -1,0 +1,71 @@
+"""Unit tests for the FPGA architecture model."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+
+
+class TestSlots:
+    def test_logic_slot_count(self):
+        arch = FpgaArch(3, 4)
+        slots = arch.logic_slots()
+        assert len(slots) == 12
+        assert all(arch.is_logic_slot(s) for s in slots)
+
+    def test_pad_ring(self):
+        arch = FpgaArch(3, 3)
+        pads = arch.pad_slots()
+        assert len(pads) == 12  # 4 sides x 3
+        assert all(arch.is_pad_slot(s) for s in pads)
+        assert len(set(pads)) == len(pads)  # no corners double-counted
+
+    def test_corners_are_not_slots(self):
+        arch = FpgaArch(3, 3)
+        for corner in [(0, 0), (4, 0), (0, 4), (4, 4)]:
+            assert not arch.is_logic_slot(corner)
+            assert not arch.is_pad_slot(corner)
+
+    def test_capacities(self):
+        arch = FpgaArch(3, 3, clb_capacity=2, pads_per_slot=3)
+        assert arch.slot_capacity((1, 1)) == 2
+        assert arch.slot_capacity((0, 1)) == 3
+        assert arch.slot_capacity((0, 0)) == 0
+        assert arch.logic_capacity == 18
+        assert arch.pad_capacity == 36
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            FpgaArch(0, 3)
+
+
+class TestDistanceAndDelay:
+    def test_manhattan(self):
+        assert FpgaArch.distance((1, 1), (4, 3)) == 5
+
+    def test_wire_delay_zero_at_coincidence(self):
+        arch = FpgaArch(4, 4)
+        assert arch.wire_delay((2, 2), (2, 2)) == 0.0
+
+    def test_wire_delay_linear(self):
+        model = LinearDelayModel(wire_delay_per_unit=1.0, connection_delay=0.5)
+        assert model.wire_delay(3) == pytest.approx(3.5)
+        assert model.wire_delay(0) == 0.0
+
+
+class TestMinSquare:
+    def test_logic_bound(self):
+        arch = FpgaArch.min_square_for(num_logic_blocks=10, num_pads=4)
+        assert arch.width == arch.height == 4  # 3x3=9 < 10 <= 16
+
+    def test_pad_bound_dominates(self):
+        arch = FpgaArch.min_square_for(num_logic_blocks=1, num_pads=50)
+        # 4 * side * 2 pads >= 50 -> side >= 7
+        assert arch.width >= 7
+        assert arch.pad_capacity >= 50
+
+    def test_density(self):
+        arch = FpgaArch(10, 10)
+        assert arch.density(95) == pytest.approx(0.95)
+
+    def test_str(self):
+        assert str(FpgaArch(33, 33)) == "33 x 33"

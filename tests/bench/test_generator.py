@@ -1,0 +1,87 @@
+"""Tests for the MCNC-calibrated synthetic circuit generator."""
+
+import pytest
+
+from repro.bench.generator import CircuitSpec, generate_circuit
+from repro.bench.suite import SPEC_BY_NAME, SUITE_SPECS, suite_circuit, suite_names
+from repro.netlist import validate_netlist
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = CircuitSpec("det", luts=100, inputs=10, outputs=10, depth=6)
+        first = generate_circuit(spec)
+        second = generate_circuit(spec)
+        assert sorted(first.cells) == sorted(second.cells)
+        for cid in first.cells:
+            assert first.cells[cid].inputs == second.cells[cid].inputs
+            assert first.cells[cid].truth_table == second.cells[cid].truth_table
+
+    def test_scale_changes_instance(self):
+        spec = CircuitSpec("scl", luts=200, inputs=20, outputs=20, depth=6)
+        big = generate_circuit(spec, scale=1.0)
+        small = generate_circuit(spec, scale=0.25)
+        assert small.num_logic_blocks < big.num_logic_blocks
+
+    def test_counts_near_calibration(self):
+        spec = CircuitSpec("cnt", luts=300, inputs=20, outputs=20, depth=8)
+        netlist = generate_circuit(spec, scale=1.0)
+        # Sweeping may trim a few; stay within 15% of the target.
+        assert netlist.num_logic_blocks >= 300 * 0.85
+
+    def test_sequential_has_ffs(self):
+        spec = CircuitSpec("seq", luts=120, inputs=10, outputs=10,
+                           ff_fraction=0.3, depth=6)
+        netlist = generate_circuit(spec)
+        assert netlist.num_ffs > 0
+
+    def test_combinational_has_none(self):
+        spec = CircuitSpec("comb", luts=120, inputs=10, outputs=10, depth=6)
+        assert generate_circuit(spec).num_ffs == 0
+
+    def test_valid_and_connected(self):
+        spec = CircuitSpec("val", luts=150, inputs=12, outputs=12,
+                           ff_fraction=0.15, depth=7)
+        validate_netlist(generate_circuit(spec))
+
+    def test_reconvergence_present(self):
+        """Multi-fanout LUTs must exist — the replication tree's raison."""
+        spec = CircuitSpec("rec", luts=150, inputs=10, outputs=10, depth=7)
+        netlist = generate_circuit(spec)
+        multi = [c for c in netlist.luts() if netlist.fanout_count(c) > 1]
+        assert len(multi) > 5
+
+
+class TestSuite:
+    def test_twenty_circuits(self):
+        assert len(SUITE_SPECS) == 20
+        assert len(suite_names("all")) == 20
+        assert len(suite_names("small")) + len(suite_names("large")) == 20
+
+    def test_table1_calibration_names(self):
+        from repro.bench.paper_data import TABLE1
+
+        assert {row.circuit for row in TABLE1} == set(SPEC_BY_NAME)
+
+    def test_min_square_sizing(self):
+        netlist, arch = suite_circuit("tseng", scale=0.05)
+        assert arch.logic_capacity >= netlist.num_logic_blocks
+        assert arch.pad_capacity >= netlist.num_pads
+        smaller = arch.width - 1
+        assert (
+            smaller * smaller < netlist.num_logic_blocks
+            or 4 * smaller * 2 < netlist.num_pads
+        )
+
+    def test_low_density_circuits_stay_low(self):
+        """dsip/des/bigkey are pad-bound: density well below the rest."""
+        _nl_d, arch_d = suite_circuit("dsip", scale=0.08)
+        nl_d, _ = suite_circuit("dsip", scale=0.08)
+        dense_nl, dense_arch = suite_circuit("s298", scale=0.08)
+        assert arch_d.density(nl_d.num_logic_blocks) < dense_arch.density(
+            dense_nl.num_logic_blocks
+        )
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ValueError):
+            suite_names("medium")

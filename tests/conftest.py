@@ -1,0 +1,82 @@
+"""Shared fixtures and circuit builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import FpgaArch
+from repro.netlist import Netlist
+from repro.place import Placement
+
+
+def chain_netlist(depth: int = 3, name: str = "chain") -> Netlist:
+    """a -> g1 -> g2 -> ... -> g_depth -> out (1-input NOT gates)."""
+    nl = Netlist(name)
+    prev = nl.add_input("a")
+    for i in range(depth):
+        gate = nl.add_lut(f"g{i + 1}", 1, 0b01)
+        nl.connect(prev, gate, 0)
+        prev = gate
+    out = nl.add_output("out")
+    nl.connect(prev, out, 0)
+    return nl
+
+
+def diamond_netlist(name: str = "diamond") -> Netlist:
+    """Reconvergent diamond: a feeds two parallel gates joined by an AND."""
+    nl = Netlist(name)
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    top = nl.add_lut("top", 2, 0b0111)  # OR
+    bottom = nl.add_lut("bottom", 2, 0b0110)  # XOR
+    join = nl.add_lut("join", 2, 0b1000)  # AND
+    out = nl.add_output("out")
+    nl.connect(a, top, 0)
+    nl.connect(b, top, 1)
+    nl.connect(a, bottom, 0)
+    nl.connect(b, bottom, 1)
+    nl.connect(top, join, 0)
+    nl.connect(bottom, join, 1)
+    nl.connect(join, out, 0)
+    return nl
+
+
+def sequential_netlist(name: str = "seq") -> Netlist:
+    """PI -> LUT -> FF -> LUT -> PO with FF feedback."""
+    nl = Netlist(name)
+    a = nl.add_input("a")
+    g1 = nl.add_lut("g1", 2, 0b0110)
+    ff = nl.add_ff("ff")
+    g2 = nl.add_lut("g2", 1, 0b01)
+    out = nl.add_output("out")
+    nl.connect(a, g1, 0)
+    nl.connect(ff, g1, 1)  # feedback
+    nl.connect(g1, ff, 0)
+    nl.connect(ff, g2, 0)
+    nl.connect(g2, out, 0)
+    return nl
+
+
+def place_in_row(netlist: Netlist, arch: FpgaArch) -> Placement:
+    """Deterministic compact placement: logic row-major, pads clockwise."""
+    placement = Placement(arch)
+    logic_slots = iter(
+        slot for slot in arch.logic_slots() for _ in range(arch.clb_capacity)
+    )
+    pad_slots = iter(arch.pad_slots())  # one pad per slot: hand-computable
+    for cell in sorted(netlist.cells.values(), key=lambda c: c.cell_id):
+        if cell.ctype.is_pad:
+            placement.place(cell, next(pad_slots))
+        else:
+            placement.place(cell, next(logic_slots))
+    return placement
+
+
+@pytest.fixture
+def arch4() -> FpgaArch:
+    return FpgaArch(4, 4)
+
+
+@pytest.fixture
+def arch8() -> FpgaArch:
+    return FpgaArch(8, 8)

@@ -1,0 +1,95 @@
+"""Tests for the Elmore 3-D signature variant (Section II-D)."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
+from repro.core.embedding_graph import GridEmbeddingGraph
+from repro.core.signatures import ElmoreKey, ElmoreParameters, ElmoreScheme, scheme_by_name
+from repro.core.topology import FaninTree
+
+MODEL = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+class TestElmoreKey:
+    def test_segment_delay_formula(self):
+        """d_uv = c_uv * (R(u) + r_uv / 2), exactly as in Section II-D."""
+        scheme = ElmoreScheme(ElmoreParameters(0.1, 0.2, 1.0))
+        key = scheme.leaf_key(0.0)
+        extended = scheme.extend(key, 1.0)
+        expected = 0.2 * (1.0 + 0.05)
+        assert extended.t == pytest.approx(expected)
+        assert extended.r == pytest.approx(1.1)
+
+    def test_delay_superlinear_in_length(self):
+        """Unbuffered wire: doubling length more than doubles delay."""
+        scheme = ElmoreScheme()
+        one = scheme.extend(scheme.leaf_key(0.0), 1.0)
+        two = scheme.extend(one, 1.0)
+        assert two.t > 2 * one.t
+
+    def test_join_resets_resistance(self):
+        scheme = ElmoreScheme()
+        a = scheme.extend(scheme.leaf_key(0.0), 3.0)
+        b = scheme.leaf_key(1.0)
+        joined = scheme.finalize(scheme.combine(a, b), gate_delay=0.5)
+        assert joined.r == pytest.approx(scheme.model.driver_resistance)
+        assert joined.t == pytest.approx(max(a.t, b.t) + 0.5)
+
+    def test_partial_order(self):
+        scheme = ElmoreScheme()
+        slow_strong = ElmoreKey(5.0, 0.5)
+        fast_weak = ElmoreKey(4.0, 2.0)
+        assert not scheme.total_order
+        assert not scheme.dominates(slow_strong, fast_weak)
+        assert not scheme.dominates(fast_weak, slow_strong)
+        assert scheme.dominates(ElmoreKey(4.0, 0.5), fast_weak)
+
+    def test_factory(self):
+        assert scheme_by_name("elmore").name == "Elmore"
+
+
+class TestElmoreEmbedding:
+    def grid(self):
+        return GridEmbeddingGraph(FpgaArch(8, 8, delay_model=MODEL), include_pads=False)
+
+    def test_gates_break_long_wires(self):
+        """Under Elmore delay, the best chain embedding spreads gates out
+        (each gate re-buffers), unlike one gate hugging a terminal."""
+        graph = self.grid()
+        tree = FaninTree()
+        leaf = tree.add_leaf(graph.vertex_at((1, 4)), arrival=0.0)
+        g1 = tree.add_internal([leaf], gate_delay=0.1)
+        g2 = tree.add_internal([g1], gate_delay=0.1)
+        tree.set_root(g2, gate_delay=0.0, vertex=graph.vertex_at((8, 4)))
+        result = FaninTreeEmbedder(
+            graph, scheme=ElmoreScheme(), options=EmbedderOptions()
+        ).embed(tree)
+        label = result.root_front.best_delay()
+        placements = result.extract_placements(label)
+        xs = sorted(graph.slot_at(placements[i])[0] for i in (0, 1, 2))
+        # The two gates sit strictly between the terminals, splitting the
+        # run into three short (quadratically cheaper) segments.
+        assert 1 < xs[1] < 8
+        assert xs[0] < xs[1] < xs[2] or xs[1] != xs[0]
+
+    def test_front_keeps_incomparable_solutions(self):
+        graph = self.grid()
+        tree = FaninTree()
+        a = tree.add_leaf(graph.vertex_at((1, 1)), arrival=0.0)
+        b = tree.add_leaf(graph.vertex_at((1, 7)), arrival=0.0)
+        gate = tree.add_internal([a, b], gate_delay=0.2)
+        tree.set_root(gate, gate_delay=0.0, vertex=graph.vertex_at((7, 4)))
+
+        def cost(node, vertex):
+            x, _ = graph.slot_at(vertex)
+            return float(x)
+
+        result = FaninTreeEmbedder(
+            graph, scheme=ElmoreScheme(), placement_cost=cost,
+            options=EmbedderOptions(),
+        ).embed(tree)
+        curve = result.trade_off()
+        assert len(curve) >= 1
+        costs = [c for c, _d in curve]
+        assert costs == sorted(costs)

@@ -1,0 +1,115 @@
+"""The paper's worked embedding example (Section II, Fig. 7).
+
+A 5-slot line graph, source s fixed at slot 0, sink t at slot 4, one
+movable internal node x.  Placement cost of slot j is j; wire cost is
+length; wire delay is quadratic in length; gate delay is 1.  The paper
+gives the full solution sets, which we assert verbatim.
+"""
+
+import pytest
+
+from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
+from repro.core.embedding_graph import EmbeddingGraph
+from repro.core.signatures import QuadraticWireScheme
+from repro.core.topology import FaninTree
+
+
+@pytest.fixture
+def line_graph() -> EmbeddingGraph:
+    graph = EmbeddingGraph()
+    for slot in range(5):
+        graph.add_vertex(position=(slot, 0))
+    for slot in range(4):
+        graph.add_edge(slot, slot + 1, wire_cost=1.0, wire_delay=1.0)
+    return graph
+
+
+@pytest.fixture
+def chain_tree() -> FaninTree:
+    tree = FaninTree()
+    s = tree.add_leaf(vertex=0, arrival=0.0)
+    x = tree.add_internal([s], gate_delay=1.0, payload="x")
+    tree.set_root(x, gate_delay=1.0, vertex=4, payload="t")
+    return tree
+
+
+def slot_cost(node, vertex: int) -> float:
+    """Placement cost equal to the slot index (the example's rule).
+
+    Slots 0 and 4 hold the fixed source/sink cells, so the movable node
+    cannot land there (the paper's sets A^b[x][j] only range over
+    j = 1..3).
+    """
+    if vertex in (0, 4):
+        return float("inf")
+    return float(vertex)
+
+
+def embed(graph, tree):
+    embedder = FaninTreeEmbedder(
+        graph,
+        scheme=QuadraticWireScheme(),
+        placement_cost=slot_cost,
+        options=EmbedderOptions(connection_delay=0.0),
+    )
+    return embedder.embed(tree)
+
+
+class TestPaperExample:
+    def test_root_trade_off_curve(self, line_graph, chain_tree):
+        result = embed(line_graph, chain_tree)
+        assert result.trade_off() == [(5.0, 12.0), (6.0, 10.0)]
+
+    def test_cheap_solution_places_x_at_slot_1(self, line_graph, chain_tree):
+        """Lower bound 15 -> pick (5, 12); node x sits at slot 1."""
+        result = embed(line_graph, chain_tree)
+        label = result.pick(delay_bound=15.0)
+        assert label is not None
+        assert (label.cost, result.scheme.primary(label.key)) == (5.0, 12.0)
+        placements = result.extract_placements(label)
+        x_index = chain_tree.nodes[1].index
+        assert placements[x_index] == 1
+
+    def test_fast_solution_places_x_at_slot_2(self, line_graph, chain_tree):
+        """A tight bound forces the faster, costlier solution."""
+        result = embed(line_graph, chain_tree)
+        label = result.pick(delay_bound=10.0)
+        assert label is not None
+        assert (label.cost, result.scheme.primary(label.key)) == (6.0, 10.0)
+        placements = result.extract_placements(label)
+        assert placements[1] == 2
+
+    def test_unreachable_bound_falls_back_to_fastest(self, line_graph, chain_tree):
+        result = embed(line_graph, chain_tree)
+        label = result.pick(delay_bound=1.0)
+        assert label is not None
+        assert result.scheme.primary(label.key) == 10.0
+
+    def test_routes_follow_the_line(self, line_graph, chain_tree):
+        result = embed(line_graph, chain_tree)
+        label = result.pick(delay_bound=15.0)
+        routes = result.extract_routes(label)
+        # x placed at slot 1, driven-from vertex 4 (the root's slot).
+        assert routes[1] == [1, 2, 3, 4]
+        # The leaf s is placed at 0 and drives x at 1.
+        assert routes[0] == [0, 1]
+
+    def test_wavefront_sets_match_paper(self, line_graph, chain_tree):
+        """Check A[x][j] via root fronts at each possible sink slot.
+
+        The paper lists A[x][1..4]; we recover them by re-rooting t at
+        each slot with zero gate delay and reading the trade-off curve.
+        """
+        expected = {
+            1: [(2.0, 2.0)],
+            2: [(3.0, 3.0)],
+            3: [(4.0, 6.0)],
+            4: [(5.0, 11.0), (6.0, 9.0)],
+        }
+        for slot, curve in expected.items():
+            tree = FaninTree()
+            s = tree.add_leaf(vertex=0, arrival=0.0)
+            x = tree.add_internal([s], gate_delay=1.0)
+            tree.set_root(x, gate_delay=0.0, vertex=slot)
+            result = embed(line_graph, tree)
+            assert result.trade_off() == curve, f"A[x][{slot}]"

@@ -1,0 +1,85 @@
+"""Unit tests for the embedding graph."""
+
+import math
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.embedding_graph import EmbeddingGraph, GridEmbeddingGraph
+
+
+class TestEmbeddingGraph:
+    def test_vertices_and_edges(self):
+        graph = EmbeddingGraph()
+        a = graph.add_vertex(base_cost=1.0)
+        b = graph.add_vertex()
+        graph.add_edge(a, b, wire_cost=2.0, wire_delay=3.0)
+        assert graph.num_vertices == 2
+        edge = graph.edges_from(a)[0]
+        assert edge.target == b
+        assert edge.wire_cost == 2.0
+        assert edge.wire_delay == 3.0
+        # Bidirectional by default.
+        assert graph.edges_from(b)[0].target == a
+
+    def test_directed_edge(self):
+        graph = EmbeddingGraph()
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_edge(a, b, 1.0, 1.0, both=False)
+        assert graph.edges_from(b) == []
+
+    def test_blocking(self):
+        graph = EmbeddingGraph()
+        v = graph.add_vertex()
+        assert not graph.is_blocked(v)
+        graph.block_vertex(v)
+        assert graph.is_blocked(v)
+        assert math.isinf(graph.base_cost(v))
+
+    def test_base_cost_mutation(self):
+        graph = EmbeddingGraph()
+        v = graph.add_vertex(base_cost=0.5)
+        graph.set_base_cost(v, 2.5)
+        assert graph.base_cost(v) == 2.5
+
+
+class TestGridEmbeddingGraph:
+    def arch(self):
+        return FpgaArch(4, 3, delay_model=LinearDelayModel(wire_delay_per_unit=0.5))
+
+    def test_logic_only_grid(self):
+        graph = GridEmbeddingGraph(self.arch(), include_pads=False)
+        assert graph.num_vertices == 12
+        with pytest.raises(KeyError):
+            graph.vertex_at((0, 1))  # pad slot not present
+
+    def test_with_pads(self):
+        arch = self.arch()
+        graph = GridEmbeddingGraph(arch, include_pads=True)
+        assert graph.num_vertices == 12 + len(arch.pad_slots())
+        assert graph.slot_at(graph.vertex_at((0, 1))) == (0, 1)
+
+    def test_four_neighbour_connectivity(self):
+        graph = GridEmbeddingGraph(self.arch(), include_pads=False)
+        center = graph.vertex_at((2, 2))
+        neighbours = {graph.slot_at(e.target) for e in graph.edges_from(center)}
+        assert neighbours == {(1, 2), (3, 2), (2, 1), (2, 3)}
+
+    def test_edge_delay_uses_model(self):
+        graph = GridEmbeddingGraph(self.arch(), include_pads=False)
+        edge = graph.edges_from(graph.vertex_at((1, 1)))[0]
+        assert edge.wire_delay == pytest.approx(0.5)
+
+    def test_wire_cost_scaling(self):
+        graph = GridEmbeddingGraph(
+            self.arch(), wire_cost_per_unit=3.0, include_pads=False
+        )
+        edge = graph.edges_from(graph.vertex_at((1, 1)))[0]
+        assert edge.wire_cost == pytest.approx(3.0)
+
+    def test_pads_reachable_from_logic(self):
+        graph = GridEmbeddingGraph(self.arch(), include_pads=True)
+        corner_logic = graph.vertex_at((1, 1))
+        targets = {graph.slot_at(e.target) for e in graph.edges_from(corner_logic)}
+        assert (1, 0) in targets  # the adjacent bottom pad
+        assert (0, 1) in targets  # the adjacent left pad

@@ -1,0 +1,122 @@
+"""Tests for embedding extraction (Section IV's solution extraction)."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.config import ReplicationConfig
+from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
+from repro.core.extraction import apply_embedding
+from repro.core.replication_tree import build_replication_tree, make_placement_cost
+from repro.netlist import Netlist, check_equivalence, validate_netlist
+from repro.place import Placement
+from repro.timing import analyze, build_spt
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def embed_once(nl, placement, config=None, epsilon=1e9):
+    from repro.core.flow import ReplicationOptimizer
+
+    config = config or ReplicationConfig()
+    opt = ReplicationOptimizer(nl, placement, config)
+    analysis = analyze(nl, placement)
+    spt = build_spt(nl, analysis)
+    info = build_replication_tree(
+        nl, placement, opt.graph, analysis, spt, epsilon, config
+    )
+    assert info is not None
+    cost_fn = make_placement_cost(nl, placement, opt.graph, config, info)
+    embedder = FaninTreeEmbedder(
+        opt.graph,
+        scheme=config.scheme,
+        placement_cost=cost_fn,
+        options=EmbedderOptions(
+            connection_delay=placement.arch.delay_model.connection_delay,
+            delay_bound=analysis.critical_delay * 1.05,
+        ),
+    )
+    result = embedder.embed(info.tree)
+    label = result.root_front.best_delay()
+    assert label is not None
+    return opt.graph, info, result, label
+
+
+def staircase():
+    from tests.core.test_flow import staircase_instance
+
+    return staircase_instance()
+
+
+class TestApplyEmbedding:
+    def test_function_preserved(self):
+        nl, placement = staircase()
+        reference = nl.clone()
+        graph, info, result, label = embed_once(nl, placement)
+        apply_embedding(nl, placement, graph, info, result, label)
+        assert check_equivalence(reference, nl)
+        validate_netlist(nl)
+
+    def test_fastest_label_improves_endpoint(self):
+        nl, placement = staircase()
+        analysis = analyze(nl, placement)
+        endpoint = analysis.critical_endpoint
+        before = analysis.endpoint_arrival[endpoint]
+        graph, info, result, label = embed_once(nl, placement)
+        apply_embedding(nl, placement, graph, info, result, label)
+        after = analyze(nl, placement).endpoint_arrival[endpoint]
+        assert after < before
+
+    def test_replicas_placed_at_chosen_slots(self):
+        nl, placement = staircase()
+        graph, info, result, label = embed_once(nl, placement)
+        placements = result.extract_placements(label)
+        outcome = apply_embedding(nl, placement, graph, info, result, label)
+        for new_id in outcome.replicated:
+            assert placement.is_placed(new_id)
+
+    def test_reuse_when_solution_is_noop(self):
+        """If the chosen label keeps every node at its own slot, nothing
+        is replicated (implicit unification at zero epsilon cost)."""
+        nl, placement = staircase()
+        graph, info, result, _label = embed_once(nl, placement)
+        cheapest = result.root_front.cheapest()
+        placements = result.extract_placements(cheapest)
+        all_on_own_slot = all(
+            graph.slot_at(placements[idx]) == placement.slot_of(cell_id)
+            for idx, cell_id in info.node_cell.items()
+        )
+        outcome = apply_embedding(nl, placement, graph, info, result, cheapest)
+        if all_on_own_slot:
+            assert outcome.replicated == []
+            assert outcome.reused
+
+    def test_originals_with_side_fanouts_survive(self):
+        nl, placement = staircase()
+        g1 = nl.cell_by_name("g1")
+        g2 = nl.cell_by_name("g2")
+        graph, info, result, label = embed_once(nl, placement)
+        apply_embedding(nl, placement, graph, info, result, label)
+        # g1 and g2 keep their side outputs o1/o2, so they must survive.
+        assert g1.cell_id in nl.cells
+        assert g2.cell_id in nl.cells
+
+    def test_modeled_delay_matches_sta_exactly(self):
+        """The DP's primary delay must equal post-extraction STA at the
+        sink — the embedder and the timing model are the same arithmetic
+        (linear wire + per-connection charge + gate/capture delays)."""
+        nl, placement = staircase()
+        analysis = analyze(nl, placement)
+        endpoint = analysis.critical_endpoint
+        graph, info, result, label = embed_once(nl, placement)
+        modeled = result.scheme.primary(label.key)
+        apply_embedding(nl, placement, graph, info, result, label)
+        measured = analyze(nl, placement).endpoint_arrival[endpoint]
+        assert measured == pytest.approx(modeled)
+
+    def test_placement_consistent_after_apply(self):
+        nl, placement = staircase()
+        graph, info, result, label = embed_once(nl, placement)
+        apply_embedding(nl, placement, graph, info, result, label)
+        placement.assert_complete(nl)
+        for cid in placement.placed_cells():
+            assert cid in nl.cells

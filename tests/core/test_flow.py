@@ -1,0 +1,248 @@
+"""End-to-end tests of the replication optimization flow (Section IV).
+
+Two hand-built scenarios drive these tests:
+
+* ``staircase_instance`` — the Fig. 3 phenomenon: a critical chain whose
+  cells are pulled off the source-sink corridor by side fanouts, so the
+  path is badly non-monotone while every local window looks fine.
+  Replicating the chain (copies serve the critical sink, originals keep
+  the side loads) must recover most of the detour.
+* ``fig12_instance`` — the Figs. 1-2 motivating example; here the cross
+  paths pin the achievable delay, so the flow must *not* degrade
+  anything while straightening (the paper's own point in that figure is
+  monotonicity at roughly equal wirelength, not delay).
+"""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.config import ReplicationConfig
+from repro.core.flow import ReplicationOptimizer, optimize_replication
+from repro.core.signatures import LexScheme
+from repro.netlist import (
+    EquivalenceIndex,
+    Netlist,
+    check_equivalence,
+    validate_netlist,
+)
+from repro.place import Placement
+from repro.timing import analyze
+from repro.timing.monotonicity import is_monotone
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def staircase_instance():
+    """Critical chain s -> g1 -> g2 -> t with side fanouts o1, o2.
+
+    g1/g2 sit high (row 6) to serve their top-edge side loads; the
+    s -> t corridor runs along row 1, so the critical path detours by 10
+    units.  Replication should free copies of g1/g2 to hug the corridor.
+    """
+    nl = Netlist("staircase")
+    s = nl.add_input("s")
+    g1 = nl.add_lut("g1", 1, 0b01)
+    g2 = nl.add_lut("g2", 1, 0b01)
+    t = nl.add_output("t")
+    o1 = nl.add_output("o1")
+    o2 = nl.add_output("o2")
+    nl.connect(s, g1, 0)
+    nl.connect(g1, g2, 0)
+    nl.connect(g2, t, 0)
+    nl.connect(g1, o1, 0)
+    nl.connect(g2, o2, 0)
+
+    arch = FpgaArch(10, 10, delay_model=SIMPLE)
+    placement = Placement(arch)
+    placement.place(s, (0, 1))
+    placement.place(t, (11, 1))
+    placement.place(o1, (3, 11))
+    placement.place(o2, (7, 11))
+    placement.place(g1, (3, 6))
+    placement.place(g2, (7, 6))
+    return nl, placement
+
+
+def fig12_instance():
+    """The Figs. 1-2 forced-nonmonotone instance, placed by hand."""
+    nl = Netlist("fig12")
+    a = nl.add_input("a")
+    e = nl.add_input("e")
+    c = nl.add_lut("c", 2, 0b0110)
+    b = nl.add_output("b")
+    d = nl.add_output("d")
+    nl.connect(a, c, 0)
+    nl.connect(e, c, 1)
+    nl.connect(c, b, 0)
+    nl.connect(c, d, 0)
+
+    arch = FpgaArch(9, 9, delay_model=SIMPLE)
+    placement = Placement(arch)
+    placement.place(a, (0, 2))   # left, low
+    placement.place(b, (0, 8))   # left, high
+    placement.place(e, (10, 2))  # right, low
+    placement.place(d, (10, 8))  # right, high
+    placement.place(c, (5, 5))   # dead center
+    return nl, placement
+
+
+class TestStaircaseReplication:
+    def test_replication_improves_delay(self):
+        nl, placement = staircase_instance()
+        before = analyze(nl, placement).critical_delay
+        reference = nl.clone()
+        result = optimize_replication(nl, placement, ReplicationConfig())
+        after = analyze(nl, placement).critical_delay
+        assert after < before
+        assert result.final_delay == pytest.approx(after)
+        assert check_equivalence(reference, nl)
+        validate_netlist(nl)
+        assert placement.is_legal()
+
+    def test_replica_actually_created(self):
+        nl, placement = staircase_instance()
+        optimize_replication(nl, placement, ReplicationConfig())
+        index = EquivalenceIndex(nl)
+        assert index.total_replicas() >= 1
+
+    def test_critical_path_straightened(self):
+        nl, placement = staircase_instance()
+        optimize_replication(nl, placement, ReplicationConfig())
+        analysis = analyze(nl, placement)
+        t = nl.cell_by_name("t")
+        path = analysis.path_to_endpoint((t.cell_id, 0))
+        assert is_monotone(placement, path)
+
+    def test_reaches_corridor_bound(self):
+        """The s->t path can reach its distance lower bound exactly."""
+        from repro.timing import endpoint_lower_bound
+
+        nl, placement = staircase_instance()
+        optimize_replication(nl, placement, ReplicationConfig())
+        analysis = analyze(nl, placement)
+        t = nl.cell_by_name("t")
+        bound = endpoint_lower_bound(nl, placement, (t.cell_id, 0))
+        assert analysis.endpoint_arrival[(t.cell_id, 0)] == pytest.approx(bound)
+
+    def test_deterministic(self):
+        r1 = optimize_replication(*staircase_instance(), ReplicationConfig())
+        r2 = optimize_replication(*staircase_instance(), ReplicationConfig())
+        assert r1.final_delay == pytest.approx(r2.final_delay)
+        assert r1.total_replicated == r2.total_replicated
+
+
+class TestFig12NoDegradation:
+    def test_delay_bound_already_tight(self):
+        """Cross paths (a->d, e->b) pin the delay: flow must not hurt."""
+        nl, placement = fig12_instance()
+        before = analyze(nl, placement).critical_delay
+        reference = nl.clone()
+        result = optimize_replication(nl, placement, ReplicationConfig())
+        assert result.final_delay <= before + 1e-9
+        assert check_equivalence(reference, nl)
+        assert placement.is_legal()
+
+
+class TestFlowBookkeeping:
+    def test_history_is_recorded(self):
+        nl, placement = staircase_instance()
+        result = optimize_replication(nl, placement, ReplicationConfig())
+        assert result.history
+        first = result.history[0]
+        assert first.delay_before == pytest.approx(result.initial_delay)
+        assert result.total_replicated >= 1
+
+    def test_improvement_property(self):
+        nl, placement = staircase_instance()
+        result = optimize_replication(nl, placement, ReplicationConfig())
+        assert 0.0 <= result.improvement < 1.0
+        assert result.final_delay <= result.initial_delay + 1e-9
+
+    def test_best_snapshot_returned_on_degradation(self):
+        """Even if late iterations degrade, the best snapshot wins."""
+        nl, placement = staircase_instance()
+        result = optimize_replication(
+            nl, placement, ReplicationConfig(max_iterations=40)
+        )
+        measured = analyze(nl, placement).critical_delay
+        assert measured == pytest.approx(result.final_delay)
+        for record in result.history:
+            assert result.final_delay <= record.delay_after + 1e-9
+
+    def test_max_iterations_respected(self):
+        nl, placement = staircase_instance()
+        result = optimize_replication(nl, placement, ReplicationConfig(max_iterations=2))
+        assert len(result.history) <= 2
+
+    def test_epsilon_grows_on_nonimprovement(self):
+        nl, placement = staircase_instance()
+        result = optimize_replication(nl, placement, ReplicationConfig())
+        stuck = [r for r in result.history if not r.improved]
+        if len(stuck) >= 2:
+            assert stuck[-1].epsilon >= stuck[0].epsilon
+
+
+class TestLexFlow:
+    def test_lex3_at_least_as_good_as_rt(self):
+        rt = optimize_replication(*staircase_instance(), ReplicationConfig())
+        lex_nl, lex_pl = staircase_instance()
+        lex = optimize_replication(
+            lex_nl, lex_pl, ReplicationConfig(scheme=LexScheme(3))
+        )
+        assert lex.final_delay <= rt.final_delay + 1e-9
+        assert check_equivalence(staircase_instance()[0], lex_nl)
+
+
+class TestSequentialFlow:
+    def make_corridor(self):
+        """a -> g1 -> FF -> g2 -> out along a corridor, FF lopsided.
+
+        The FF sits at the far end of the corridor: its D path is at its
+        fixed-location bound, so only FF relocation (Section V-D) can
+        rebalance the two timing paths.
+        """
+        nl = Netlist("corridor")
+        a = nl.add_input("a")
+        g1 = nl.add_lut("g1", 1, 0b01)
+        ff = nl.add_ff("ff")
+        g2 = nl.add_lut("g2", 1, 0b01)
+        out = nl.add_output("out")
+        nl.connect(a, g1, 0)
+        nl.connect(g1, ff, 0)
+        nl.connect(ff, g2, 0)
+        nl.connect(g2, out, 0)
+        arch = FpgaArch(9, 9, delay_model=SIMPLE)
+        placement = Placement(arch)
+        placement.place(a, (0, 5))
+        placement.place(g1, (3, 5))
+        placement.place(ff, (9, 5))  # lopsided: D path 10, Q path 3
+        placement.place(g2, (9, 6))
+        placement.place(out, (10, 6))
+        return nl, placement
+
+    def test_ff_relocation_rebalances(self):
+        nl, placement = self.make_corridor()
+        before = analyze(nl, placement).critical_delay
+        reference = nl.clone()
+        result = optimize_replication(
+            nl,
+            placement,
+            ReplicationConfig(allow_ff_relocation=True, max_iterations=20),
+        )
+        assert result.final_delay < before
+        ff = nl.cell_by_name("ff")
+        # The FF must have moved toward the middle of the corridor.
+        assert placement.slot_of(ff.cell_id)[0] < 9
+        assert check_equivalence(reference, nl)
+        assert any(r.ff_relocated for r in result.history)
+
+    def test_without_relocation_ff_stays(self):
+        nl, placement = self.make_corridor()
+        result = optimize_replication(
+            nl,
+            placement,
+            ReplicationConfig(allow_ff_relocation=False, max_iterations=10),
+        )
+        ff = nl.cell_by_name("ff")
+        assert placement.slot_of(ff.cell_id) == (9, 5)
+        assert not any(r.ff_relocated for r in result.history)

@@ -1,0 +1,211 @@
+"""Tests for replication-tree induction (Section III, Figs. 8-9)."""
+
+import math
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.config import ReplicationConfig
+from repro.core.embedding_graph import GridEmbeddingGraph
+from repro.core.replication_tree import (
+    build_replication_tree,
+    make_placement_cost,
+    select_tree_cells,
+)
+from repro.netlist import Netlist
+from repro.timing import analyze, build_spt
+from tests.conftest import place_in_row
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def reconvergent_netlist() -> Netlist:
+    """The Fig. 8 shape: a/b/c feed d and f with reconvergence on c.
+
+    c drives both d and f directly; d also drives f, so the edge set
+    {a->d, b->d? ...} simplified: f's fanin is (d, c); d's fanin is
+    (a, c).  The SPT toward f picks one parent per cell; c appears both
+    as a tree cell and as a fixed leaf (reconvergence terminator).
+    """
+    nl = Netlist("fig8")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    c = nl.add_lut("c", 2, 0b0110)
+    d = nl.add_lut("d", 2, 0b0110)
+    f = nl.add_lut("f", 2, 0b0110)
+    out = nl.add_output("out")
+    nl.connect(a, c, 0)
+    nl.connect(b, c, 1)
+    nl.connect(a, d, 0)
+    nl.connect(c, d, 1)
+    nl.connect(d, f, 0)
+    nl.connect(c, f, 1)
+    nl.connect(f, out, 0)
+    return nl
+
+
+@pytest.fixture
+def instance():
+    nl = reconvergent_netlist()
+    arch = FpgaArch(8, 8, delay_model=SIMPLE)
+    placement = place_in_row(nl, arch)
+    analysis = analyze(nl, placement)
+    graph = GridEmbeddingGraph(arch, include_pads=True)
+    spt = build_spt(nl, analysis)
+    return nl, placement, graph, analysis, spt
+
+
+class TestSelectTreeCells:
+    def test_large_epsilon_selects_all_luts(self, instance):
+        nl, _p, _g, _a, spt = instance
+        cells = select_tree_cells(nl, spt, epsilon=1e9, max_cells=100)
+        lut_ids = {c.cell_id for c in nl.luts()}
+        assert cells == lut_ids
+
+    def test_cap_keeps_connected_subtree(self, instance):
+        nl, _p, _g, _a, spt = instance
+        cells = select_tree_cells(nl, spt, epsilon=1e9, max_cells=2)
+        assert len(cells) <= 2
+        sink = spt.endpoint[0]
+        for cid in cells:
+            parent = spt.parent[cid]
+            assert parent is not None
+            assert parent[0] == sink or parent[0] in cells
+
+    def test_zero_epsilon_keeps_critical_chain(self, instance):
+        nl, _p, _g, analysis, spt = instance
+        cells = select_tree_cells(nl, spt, epsilon=0.0, max_cells=100)
+        # The critical path's LUTs are within ε = 0 by definition.
+        for cid in analysis.critical_path():
+            if nl.cells[cid].is_lut:
+                assert cid in cells
+
+
+class TestBuildReplicationTree:
+    def test_tree_structure(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, ReplicationConfig()
+        )
+        assert info is not None
+        # f and d are movable (on the SPT); their copies form the tree.
+        f = nl.cell_by_name("f")
+        d = nl.cell_by_name("d")
+        assert set(info.node_cell.values()) >= {f.cell_id, d.cell_id}
+        info.tree.validate()
+
+    def test_reconvergent_cell_appears_as_leaf_too(self, instance):
+        """Fig. 8: d^R and f^R connect to the *original* c where the edge
+        is not a tree edge, so c shows up as a fixed leaf."""
+        nl, placement, graph, analysis, spt = instance
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, ReplicationConfig()
+        )
+        c = nl.cell_by_name("c")
+        leaf_cells = set(info.leaf_cell.values())
+        tree_cells = set(info.node_cell.values())
+        if c.cell_id in tree_cells:
+            # c is on the SPT through one parent; the other connection
+            # must appear as a leaf (the reconvergence terminator).
+            assert c.cell_id in leaf_cells
+        else:
+            assert c.cell_id in leaf_cells
+
+    def test_leaf_arrivals_match_sta(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, ReplicationConfig()
+        )
+        for node_index, cell_id in info.leaf_cell.items():
+            assert info.tree.nodes[node_index].arrival == pytest.approx(
+                analysis.arrival[cell_id]
+            )
+
+    def test_child_pin_map_complete(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, ReplicationConfig()
+        )
+        for node in info.tree.nodes:
+            for child in node.children:
+                assert (node.index, child) in info.child_pin
+
+    def test_critical_input_is_a_start_point(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, ReplicationConfig()
+        )
+        marked = [n for n in info.tree.leaves() if n.is_critical_input]
+        assert len(marked) == 1
+        cell = nl.cells[info.leaf_cell[marked[0].index]]
+        assert cell.is_timing_start
+
+    def test_trivial_when_pad_drives_sink(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        out = nl.add_output("out")
+        nl.connect(a, out, 0)
+        arch = FpgaArch(4, 4, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        graph = GridEmbeddingGraph(arch)
+        spt = build_spt(nl, analysis)
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, ReplicationConfig()
+        )
+        assert info is None
+
+
+class TestPlacementCost:
+    def test_equivalent_slot_discounted(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        config = ReplicationConfig()
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, config
+        )
+        cost = make_placement_cost(nl, placement, graph, config, info)
+        # Each movable node is discounted at its own cell's current slot.
+        for node_index, cell_id in info.node_cell.items():
+            node = info.tree.nodes[node_index]
+            own = graph.vertex_at(placement.slot_of(cell_id))
+            assert cost(node, own) == config.cost_equivalent
+
+    def test_pad_slots_forbidden_for_gates(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        config = ReplicationConfig()
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, config
+        )
+        node_index = next(iter(info.node_cell))
+        node = info.tree.nodes[node_index]
+        pad_vertex = graph.vertex_at((1, 0))
+        assert math.isinf(cost_at := make_placement_cost(
+            nl, placement, graph, config, info
+        )(node, pad_vertex)), cost_at
+
+    def test_occupied_vs_free_pricing(self, instance):
+        nl, placement, graph, analysis, spt = instance
+        config = ReplicationConfig()
+        info = build_replication_tree(
+            nl, placement, graph, analysis, spt, 1e9, config
+        )
+        cost = make_placement_cost(nl, placement, graph, config, info)
+        # Pick a movable node whose cell has fanout > 1 (no blanket discount).
+        node = None
+        for node_index, cell_id in info.node_cell.items():
+            if nl.fanout_count(cell_id) > 1:
+                node = info.tree.nodes[node_index]
+                break
+        assert node is not None
+        free_slot = placement.free_logic_slots()[0]
+        assert cost(node, graph.vertex_at(free_slot)) == (
+            config.cost_free + config.cost_replication
+        )
+        # An occupied (non-equivalent) slot is priced as congested.
+        other = nl.cell_by_name("f")
+        occupied = placement.slot_of(other.cell_id)
+        cell_id = info.node_cell[node.index]
+        if occupied != placement.slot_of(cell_id):
+            assert cost(node, graph.vertex_at(occupied)) == (
+                config.cost_occupied + config.cost_replication
+            )

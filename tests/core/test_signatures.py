@@ -1,0 +1,149 @@
+"""Unit tests for the signature schemes (Sections II-C, VI-A)."""
+
+import math
+
+import pytest
+
+from repro.core.signatures import (
+    LexMcScheme,
+    LexScheme,
+    MaxArrivalScheme,
+    QuadraticWireScheme,
+    scheme_by_name,
+)
+
+
+class TestMaxArrival:
+    def test_roundtrip(self):
+        scheme = MaxArrivalScheme()
+        key = scheme.leaf_key(3.0)
+        key = scheme.extend(key, 2.0)
+        assert key == 5.0
+        joined = scheme.combine(key, scheme.leaf_key(7.0))
+        assert scheme.finalize(joined, 1.0) == 8.0
+        assert scheme.primary(joined) == 7.0
+
+    def test_dominates_via_total_order(self):
+        scheme = MaxArrivalScheme()
+        assert scheme.dominates(3.0, 4.0)
+        assert not scheme.dominates(4.0, 3.0)
+        assert scheme.total_order
+
+
+class TestLex:
+    def test_lex1_matches_max_arrival(self):
+        lex = LexScheme(1)
+        base = MaxArrivalScheme()
+        keys = [lex.leaf_key(t) for t in (1.0, 4.0, 2.0)]
+        merged = keys[0]
+        for key in keys[1:]:
+            merged = lex.combine(merged, key)
+        assert lex.primary(lex.finalize(merged, 1.0)) == base.finalize(4.0, 1.0)
+
+    def test_join_keeps_top_n(self):
+        lex = LexScheme(3)
+        a = (9.0, 5.0, 1.0)
+        b = (8.0, 7.0)
+        assert lex.combine(a, b) == (9.0, 8.0, 7.0)
+
+    def test_paper_recursive_formulas(self):
+        """Flatten-top-N equals the max-minus-previous recursion of VI-A."""
+        lex = LexScheme(3)
+        children = [(10.0, 6.0, 2.0), (9.0, 8.0), (7.0,)]
+        merged = children[0]
+        for child in children[1:]:
+            merged = lex.combine(merged, child)
+        # Paper: t = max over all firsts and rests; t2 = max of union minus
+        # one instance of t; t3 = minus t and t2.
+        flat = sorted([v for child in children for v in child], reverse=True)
+        assert merged == tuple(flat[:3])
+
+    def test_extend_shifts_all_components(self):
+        lex = LexScheme(2)
+        assert lex.extend((5.0, 3.0), 1.5) == (6.5, 4.5)
+
+    def test_sort_key_padding(self):
+        lex = LexScheme(3)
+        short = lex.sort_key((5.0,))
+        full = lex.sort_key((5.0, 1.0, 0.0))
+        assert short < full  # missing paths compare as -inf
+        assert len(short) == len(full) == 3
+
+    def test_combine_commutative_associative(self):
+        lex = LexScheme(4)
+        a, b, c = (9.0, 2.0), (8.0, 7.0, 3.0), (10.0,)
+        assert lex.combine(a, b) == lex.combine(b, a)
+        assert lex.combine(lex.combine(a, b), c) == lex.combine(a, lex.combine(b, c))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            LexScheme(0)
+
+
+class TestLexMc:
+    def test_critical_leaf_carries_weight(self):
+        scheme = LexMcScheme()
+        crit = scheme.leaf_key(0.0, is_critical_input=True)
+        other = scheme.leaf_key(2.0)
+        assert crit.w == 1
+        assert other.w == 0
+
+    def test_tc_accrues_only_on_weighted_branch(self):
+        scheme = LexMcScheme()
+        crit = scheme.extend(scheme.leaf_key(0.0, True), 3.0)
+        other = scheme.extend(scheme.leaf_key(2.0), 3.0)
+        assert crit.tc == 3.0
+        assert other.tc == 0.0
+        joined = scheme.combine(crit, other)
+        assert joined.t == 5.0
+        assert joined.tc == 3.0
+        assert joined.w == 1
+        final = scheme.finalize(joined, 1.0)
+        assert final.tc == 4.0
+
+    def test_unweighted_finalize_keeps_tc(self):
+        scheme = LexMcScheme()
+        key = scheme.finalize(scheme.leaf_key(2.0), 1.0)
+        assert key.tc == 0.0
+
+    def test_dominance_ignores_w(self):
+        scheme = LexMcScheme()
+        a = scheme.leaf_key(0.0, True)
+        b = scheme.leaf_key(0.0, False)
+        assert scheme.sort_key(a) == (0.0, 0.0)
+        assert scheme.sort_key(b) == (0.0, 0.0)
+
+
+class TestQuadratic:
+    def test_quadratic_increments(self):
+        scheme = QuadraticWireScheme()
+        key = scheme.leaf_key(0.0)
+        for expected in (1.0, 4.0, 9.0, 16.0):
+            key = scheme.extend(key, 1.0)
+            assert key.t == expected
+
+    def test_partial_order(self):
+        from repro.core.signatures import StemKey
+
+        scheme = QuadraticWireScheme()
+        slow_short = StemKey(5.0, 0)
+        fast_long = StemKey(4.0, 2)
+        assert not scheme.total_order
+        # Neither dominates: one is faster now, the other cheaper later.
+        assert not scheme.dominates(slow_short, fast_long)
+        assert not scheme.dominates(fast_long, slow_short)
+
+
+class TestFactory:
+    def test_names(self):
+        assert scheme_by_name("rt").name == "RT-Embedding"
+        assert scheme_by_name("Lex-3").order == 3
+        assert scheme_by_name("lex-mc").name == "Lex-mc"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("simulated-annealing")
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_lex_n(self, n):
+        assert scheme_by_name(f"lex-{n}").name == f"Lex-{n}"

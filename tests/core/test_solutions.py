@@ -1,0 +1,110 @@
+"""Unit tests for Pareto fronts and labels."""
+
+from repro.core.signatures import MaxArrivalScheme, QuadraticWireScheme, StemKey
+from repro.core.solutions import Label, PartialOrderFront, StaircaseFront, make_front
+
+SCHEME = MaxArrivalScheme()
+
+
+def label(cost: float, delay: float, vertex: int = 0) -> Label:
+    return Label(
+        cost=cost,
+        key=delay,
+        sort=SCHEME.sort_key(delay),
+        vertex=vertex,
+        node=0,
+        branching=True,
+    )
+
+
+class TestStaircaseFront:
+    def test_insert_nondominated(self):
+        front = StaircaseFront()
+        assert front.insert(label(5.0, 10.0))
+        assert front.insert(label(6.0, 8.0))
+        assert len(front) == 2
+
+    def test_reject_dominated(self):
+        front = StaircaseFront()
+        front.insert(label(5.0, 10.0))
+        assert not front.insert(label(6.0, 10.0))
+        assert not front.insert(label(5.0, 11.0))
+        assert not front.insert(label(5.0, 10.0))  # duplicate
+        assert len(front) == 1
+
+    def test_evicts_dominated(self):
+        front = StaircaseFront()
+        front.insert(label(5.0, 10.0))
+        front.insert(label(7.0, 9.0))
+        front.insert(label(9.0, 8.0))
+        assert front.insert(label(4.0, 8.5))  # kills (5,10) and (7,9)? no:
+        # (4, 8.5) dominates (5, 10) and (7, 9) but not (9, 8).
+        curve = [(lab.cost, lab.key) for lab in front]
+        assert curve == [(4.0, 8.5), (9.0, 8.0)]
+
+    def test_staircase_order(self):
+        front = StaircaseFront()
+        for cost, delay in [(9.0, 1.0), (1.0, 9.0), (5.0, 5.0)]:
+            front.insert(label(cost, delay))
+        costs = [lab.cost for lab in front]
+        delays = [lab.key for lab in front]
+        assert costs == sorted(costs)
+        assert delays == sorted(delays, reverse=True)
+
+    def test_best_and_cheapest(self):
+        front = StaircaseFront()
+        assert front.best_delay() is None
+        assert front.cheapest() is None
+        front.insert(label(1.0, 9.0))
+        front.insert(label(5.0, 5.0))
+        assert front.best_delay().key == 5.0
+        assert front.cheapest().cost == 1.0
+
+
+class TestPartialOrderFront:
+    def make(self):
+        return PartialOrderFront(QuadraticWireScheme())
+
+    def qlabel(self, cost: float, t: float, stem: int) -> Label:
+        scheme = QuadraticWireScheme()
+        key = StemKey(t, stem)
+        return Label(cost, key, scheme.sort_key(key), 0, 0, True)
+
+    def test_incomparable_both_kept(self):
+        front = self.make()
+        assert front.insert(self.qlabel(5.0, 10.0, 0))
+        assert front.insert(self.qlabel(4.0, 8.0, 3))  # cheaper+faster, longer stem
+        assert len(front) == 2
+
+    def test_dominated_rejected(self):
+        front = self.make()
+        front.insert(self.qlabel(4.0, 8.0, 1))
+        assert not front.insert(self.qlabel(5.0, 9.0, 2))
+
+    def test_dominator_evicts(self):
+        front = self.make()
+        front.insert(self.qlabel(5.0, 9.0, 2))
+        front.insert(self.qlabel(6.0, 1.0, 0))
+        assert front.insert(self.qlabel(4.0, 8.0, 1))
+        assert len(front) == 2
+
+    def test_iteration_deterministic(self):
+        front = self.make()
+        front.insert(self.qlabel(5.0, 9.0, 2))
+        front.insert(self.qlabel(4.0, 8.0, 3))
+        costs = [lab.cost for lab in front]
+        assert costs == sorted(costs)
+
+
+class TestMakeFront:
+    def test_dispatch(self):
+        assert isinstance(make_front(MaxArrivalScheme()), StaircaseFront)
+        assert isinstance(make_front(QuadraticWireScheme()), PartialOrderFront)
+
+
+class TestLabel:
+    def test_branch_vertex_follows_chain(self):
+        base = label(0.0, 0.0, vertex=3)
+        ext1 = Label(1.0, 1.0, (1.0,), 4, 0, False, pred=base)
+        ext2 = Label(2.0, 2.0, (2.0,), 5, 0, False, pred=ext1)
+        assert ext2.branch_vertex() == 3

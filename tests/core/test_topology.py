@@ -1,0 +1,78 @@
+"""Tests for the fanin-tree topology container."""
+
+import pytest
+
+from repro.core.topology import FaninTree
+
+
+def small_tree() -> FaninTree:
+    tree = FaninTree()
+    a = tree.add_leaf(vertex=0, arrival=1.0)
+    b = tree.add_leaf(vertex=1, arrival=2.0)
+    c = tree.add_leaf(vertex=2, arrival=0.0)
+    inner = tree.add_internal([a, b], gate_delay=1.0)
+    top = tree.add_internal([inner, c], gate_delay=1.0)
+    tree.set_root(top, gate_delay=0.5, vertex=3)
+    return tree
+
+
+class TestConstruction:
+    def test_counts(self):
+        tree = small_tree()
+        assert len(tree) == 6
+        assert len(tree.leaves()) == 3
+        assert len(tree.internal_nodes()) == 2  # root excluded
+
+    def test_root_properties(self):
+        tree = small_tree()
+        assert tree.root.vertex == 3
+        assert tree.root.gate_delay == 0.5
+
+    def test_postorder_children_first(self):
+        tree = small_tree()
+        order = [node.index for node in tree.postorder()]
+        position = {index: i for i, index in enumerate(order)}
+        for node in tree.nodes:
+            for child in node.children:
+                assert position[child] < position[node.index]
+        assert order[-1] == tree.root.index
+
+    def test_internal_needs_children(self):
+        tree = FaninTree()
+        with pytest.raises(ValueError):
+            tree.add_internal([], gate_delay=1.0)
+
+    def test_root_required(self):
+        tree = FaninTree()
+        tree.add_leaf(vertex=0, arrival=0.0)
+        with pytest.raises(ValueError):
+            _ = tree.root
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_two_parents_rejected(self):
+        tree = FaninTree()
+        leaf = tree.add_leaf(vertex=0, arrival=0.0)
+        first = tree.add_internal([leaf], gate_delay=1.0)
+        second = tree.add_internal([leaf], gate_delay=1.0)  # leaf reused!
+        tree.set_root(first, vertex=1)
+        tree.root.children.append(second.index)
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_leaf_without_vertex_rejected(self):
+        tree = FaninTree()
+        leaf = tree.add_leaf(vertex=0, arrival=0.0)
+        leaf.vertex = None
+        tree.set_root(tree.add_internal([leaf], gate_delay=1.0), vertex=1)
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_unreachable_node_rejected(self):
+        tree = small_tree()
+        tree.add_leaf(vertex=9, arrival=0.0)  # orphan
+        with pytest.raises(ValueError):
+            tree.validate()

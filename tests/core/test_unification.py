@@ -1,0 +1,145 @@
+"""Tests for post-process unification (Section V-C, Fig. 13)."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.unification import postprocess_unification
+from repro.netlist import Netlist, check_equivalence, validate_netlist
+from repro.place import Placement
+from repro.timing import analyze
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def replicated_instance():
+    """a -> g -> {o1 (left), o2 (right)} with a replica g_R near o2.
+
+    g sits near o1; the replica near o2 currently drives nothing useful:
+    o2 still hangs off the distant original.
+    """
+    nl = Netlist("uni")
+    a = nl.add_input("a")
+    g = nl.add_lut("g", 1, 0b01)
+    o1 = nl.add_output("o1")
+    o2 = nl.add_output("o2")
+    nl.connect(a, g, 0)
+    nl.connect(g, o1, 0)
+    nl.connect(g, o2, 0)
+    replica = nl.replicate_cell(g)
+    # Give the replica a sink so it is live (a second copy serving o2
+    # would be the embedder's doing in the real flow).
+    o3 = nl.add_output("o3")
+    nl.connect(replica, o3, 0)
+
+    arch = FpgaArch(8, 8, delay_model=SIMPLE)
+    placement = Placement(arch)
+    placement.place(a, (5, 0))  # source central-bottom: both copies reachable
+    placement.place(g, (1, 4))
+    placement.place(replica, (8, 4))
+    placement.place(o1, (0, 4))
+    placement.place(o2, (9, 4))
+    placement.place(o3, (9, 5))
+    return nl, placement, g, replica
+
+
+class TestImprovementMoves:
+    def test_fanout_moves_to_closer_replica(self):
+        nl, placement, g, replica = replicated_instance()
+        reference = nl.clone()
+        o2 = nl.cell_by_name("o2")
+        result = postprocess_unification(nl, placement, aggressive=False)
+        assert result.moved_pins >= 1
+        # o2 should now be driven by the replica (much closer).
+        driver = nl.nets[o2.inputs[0]].driver
+        assert driver == replica.cell_id
+        assert check_equivalence(reference, nl)
+        validate_netlist(nl)
+
+    def test_arrival_improves(self):
+        nl, placement, _g, _replica = replicated_instance()
+        o2 = nl.cell_by_name("o2")
+        before = analyze(nl, placement).endpoint_arrival[(o2.cell_id, 0)]
+        postprocess_unification(nl, placement, aggressive=False)
+        after = analyze(nl, placement).endpoint_arrival[(o2.cell_id, 0)]
+        assert after < before
+
+    def test_no_moves_without_replicas(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        o = nl.add_output("o")
+        nl.connect(a, g, 0)
+        nl.connect(g, o, 0)
+        arch = FpgaArch(4, 4, delay_model=SIMPLE)
+        placement = Placement(arch)
+        placement.place(a, (0, 1))
+        placement.place(g, (1, 1))
+        placement.place(o, (0, 2))
+        result = postprocess_unification(nl, placement)
+        assert result.moved_pins == 0
+        assert result.deleted == []
+
+
+class TestAggressiveRetirement:
+    def test_redundant_replica_retired(self):
+        """When one copy can serve all sinks within slack, the other dies."""
+        nl, placement, g, replica = replicated_instance()
+        # Move the replica right next to the original: fully redundant.
+        placement.place(replica, (2, 4))
+        reference = nl.clone()
+        result = postprocess_unification(nl, placement, aggressive=True)
+        live = [c for c in (g.cell_id, replica.cell_id) if c in nl.cells]
+        assert len(live) == 1
+        assert result.deleted or result.retired
+        assert check_equivalence(reference, nl)
+        validate_netlist(nl)
+
+    def test_critical_delay_not_violated(self):
+        nl, placement, _g, _replica = replicated_instance()
+        before = analyze(nl, placement).critical_delay
+        postprocess_unification(nl, placement, aggressive=True)
+        after = analyze(nl, placement).critical_delay
+        assert after <= before + 1e-9
+
+    def test_non_aggressive_keeps_useful_replicas(self):
+        nl, placement, g, replica = replicated_instance()
+        postprocess_unification(nl, placement, aggressive=False)
+        # Both copies serve geometrically separate sinks: both live.
+        assert g.cell_id in nl.cells
+        assert replica.cell_id in nl.cells
+
+    def test_recursive_deletion_cascades(self):
+        """Fig. 13's recursion: retiring a cell can orphan its fanin."""
+        nl = Netlist("cascade")
+        a = nl.add_input("a")
+        mid = nl.add_lut("mid", 1, 0b01)
+        g = nl.add_lut("g", 1, 0b01)
+        o = nl.add_output("o")
+        nl.connect(a, mid, 0)
+        nl.connect(mid, g, 0)
+        nl.connect(g, o, 0)
+        # Replicate the pair g<-mid (replicas of both, wired together).
+        mid_r = nl.replicate_cell(mid)
+        g_r = nl.replicate_cell(g)
+        nl.rewire_input(g_r, 0, mid_r)
+        o2 = nl.add_output("o2")
+        nl.connect(g_r, o2, 0)
+
+        arch = FpgaArch(8, 8, delay_model=SIMPLE)
+        placement = Placement(arch)
+        placement.place(a, (0, 1))
+        placement.place(mid, (1, 1))
+        placement.place(g, (2, 1))
+        placement.place(o, (0, 2))
+        # The replica pair is far away while its sink o2 is near o:
+        # retiring g_r orphans mid_r, which must then cascade away.
+        placement.place(mid_r, (7, 7))
+        placement.place(g_r, (8, 7))
+        placement.place(o2, (0, 3))
+
+        reference = nl.clone()
+        postprocess_unification(nl, placement, aggressive=True)
+        assert g_r.cell_id not in nl.cells
+        assert mid_r.cell_id not in nl.cells  # cascade
+        assert check_equivalence(reference, nl)
+        validate_netlist(nl)

@@ -1,0 +1,44 @@
+"""Tests for equivalence-class bookkeeping."""
+
+from repro.netlist import EquivalenceIndex
+from tests.conftest import diamond_netlist
+
+
+class TestEquivalenceIndex:
+    def test_singleton_classes_initially(self):
+        netlist = diamond_netlist()
+        index = EquivalenceIndex(netlist)
+        assert index.total_replicas() == 0
+        assert index.classes_with_replicas() == []
+        top = netlist.cell_by_name("top")
+        assert index.equivalents(top) == []
+        assert index.replica_count(top) == 1
+
+    def test_replication_grows_class(self):
+        netlist = diamond_netlist()
+        top = netlist.cell_by_name("top")
+        first = netlist.replicate_cell(top)
+        second = netlist.replicate_cell(top)
+        index = EquivalenceIndex(netlist)
+        assert index.replica_count(top) == 3
+        assert index.total_replicas() == 2
+        assert set(index.equivalents(top)) == {first.cell_id, second.cell_id}
+        assert index.classes_with_replicas() == [top.eq_class]
+
+    def test_replica_of_replica_shares_class(self):
+        netlist = diamond_netlist()
+        top = netlist.cell_by_name("top")
+        replica = netlist.replicate_cell(top)
+        grand = netlist.replicate_cell(replica)
+        index = EquivalenceIndex(netlist)
+        assert grand.eq_class == top.eq_class
+        assert index.replica_count(top) == 3
+
+    def test_index_is_snapshot(self):
+        netlist = diamond_netlist()
+        top = netlist.cell_by_name("top")
+        index = EquivalenceIndex(netlist)
+        netlist.replicate_cell(top)
+        # Old snapshot unchanged; fresh one sees the replica.
+        assert index.replica_count(top) == 1
+        assert EquivalenceIndex(netlist).replica_count(top) == 2

@@ -1,0 +1,218 @@
+"""Unit tests for the netlist container and its edits."""
+
+import pytest
+
+from repro.netlist import (
+    CellType,
+    Netlist,
+    NetlistError,
+    check_equivalence,
+    validate_netlist,
+)
+
+
+def build_chain() -> Netlist:
+    """a -> g1 -> g2 -> out, with b also feeding g1."""
+    nl = Netlist("chain")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    g1 = nl.add_lut("g1", 2, 0b0110)  # XOR
+    g2 = nl.add_lut("g2", 1, 0b01)  # NOT
+    out = nl.add_output("out")
+    nl.connect(a, g1, 0)
+    nl.connect(b, g1, 1)
+    nl.connect(g1, g2, 0)
+    nl.connect(g2, out, 0)
+    return nl
+
+
+class TestConstruction:
+    def test_counts(self):
+        nl = build_chain()
+        assert nl.num_cells == 5
+        assert nl.num_luts == 2
+        assert nl.num_ffs == 0
+        assert nl.num_pads == 3
+        assert nl.num_logic_blocks == 2
+
+    def test_valid(self):
+        validate_netlist(build_chain())
+
+    def test_unique_names(self):
+        nl = Netlist()
+        first = nl.add_lut("g", 1, 0b01)
+        second = nl.add_lut("g", 1, 0b01)
+        assert first.name != second.name
+
+    def test_cell_by_name(self):
+        nl = build_chain()
+        assert nl.cell_by_name("g1").is_lut
+        with pytest.raises(NetlistError):
+            nl.cell_by_name("missing")
+
+    def test_double_connect_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        nl.connect(a, g, 0)
+        with pytest.raises(NetlistError):
+            nl.connect(a, g, 0)
+
+    def test_bad_pin_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        with pytest.raises(NetlistError):
+            nl.connect(a, g, 3)
+
+    def test_truth_table_width_checked(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError):
+            nl.add_lut("g", 1, 0b10110)
+
+    def test_fanout_pins(self):
+        nl = build_chain()
+        g1 = nl.cell_by_name("g1")
+        g2 = nl.cell_by_name("g2")
+        assert nl.fanout_pins(g1) == [(g2.cell_id, 0)]
+        assert nl.fanout_count(g1) == 1
+
+    def test_fanin_cells(self):
+        nl = build_chain()
+        g1 = nl.cell_by_name("g1")
+        a = nl.cell_by_name("a")
+        b = nl.cell_by_name("b")
+        assert nl.fanin_cells(g1) == [a.cell_id, b.cell_id]
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self):
+        nl = build_chain()
+        order = nl.combinational_order()
+        position = {cid: i for i, cid in enumerate(order)}
+        g1 = nl.cell_by_name("g1")
+        g2 = nl.cell_by_name("g2")
+        assert position[g1.cell_id] < position[g2.cell_id]
+
+    def test_ff_breaks_cycles(self):
+        nl = Netlist()
+        ff = nl.add_ff("ff")
+        g = nl.add_lut("g", 1, 0b01)
+        nl.connect(ff, g, 0)
+        nl.connect(g, ff, 0)  # feedback through the FF: legal
+        order = nl.combinational_order()
+        assert len(order) == 2
+
+    def test_combinational_cycle_detected(self):
+        nl = Netlist()
+        g1 = nl.add_lut("g1", 1, 0b01)
+        g2 = nl.add_lut("g2", 1, 0b01)
+        nl.connect(g1, g2, 0)
+        nl.connect(g2, g1, 0)
+        with pytest.raises(NetlistError):
+            nl.combinational_order()
+
+
+class TestReplication:
+    def test_replica_shares_inputs_and_class(self):
+        nl = build_chain()
+        g1 = nl.cell_by_name("g1")
+        replica = nl.replicate_cell(g1)
+        assert replica.eq_class == g1.eq_class
+        assert replica.truth_table == g1.truth_table
+        assert nl.fanin_cells(replica) == nl.fanin_cells(g1)
+        assert nl.fanout_count(replica) == 0
+        validate_netlist(nl, require_connected=False)
+
+    def test_replication_preserves_function_after_partition(self):
+        nl = build_chain()
+        reference = nl.clone()
+        g1 = nl.cell_by_name("g1")
+        replica = nl.replicate_cell(g1)
+        # Move g1's only sink to the replica; g1 becomes redundant.
+        pin = nl.fanout_pins(g1)[0]
+        assert replica.output is not None
+        nl.move_sink(pin, replica.output)
+        nl.sweep_redundant()
+        validate_netlist(nl)
+        assert check_equivalence(reference, nl)
+
+    def test_pad_replication_rejected(self):
+        nl = build_chain()
+        with pytest.raises(NetlistError):
+            nl.replicate_cell(nl.cell_by_name("a"))
+
+    def test_ff_replication(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        ff = nl.add_ff("ff")
+        out = nl.add_output("out")
+        nl.connect(a, ff, 0)
+        nl.connect(ff, out, 0)
+        replica = nl.replicate_cell(ff)
+        assert replica.ctype is CellType.FF
+        assert replica.eq_class == ff.eq_class
+
+
+class TestUnification:
+    def test_unify_moves_fanout(self):
+        nl = build_chain()
+        reference = nl.clone()
+        g1 = nl.cell_by_name("g1")
+        replica = nl.replicate_cell(g1)
+        pin = nl.fanout_pins(g1)[0]
+        assert replica.output is not None
+        nl.move_sink(pin, replica.output)
+        nl.unify(replica, g1)  # undo: merge replica back into original
+        validate_netlist(nl)
+        assert check_equivalence(reference, nl)
+        assert replica.cell_id not in nl.cells
+
+    def test_unify_requires_equivalence(self):
+        nl = build_chain()
+        with pytest.raises(NetlistError):
+            nl.unify(nl.cell_by_name("g1"), nl.cell_by_name("g2"))
+
+    def test_unify_self_rejected(self):
+        nl = build_chain()
+        g1 = nl.cell_by_name("g1")
+        with pytest.raises(NetlistError):
+            nl.unify(g1, g1)
+
+
+class TestDeletion:
+    def test_delete_with_fanout_rejected(self):
+        nl = build_chain()
+        with pytest.raises(NetlistError):
+            nl.delete_cell(nl.cell_by_name("g1"))
+
+    def test_sweep_is_recursive(self):
+        nl = build_chain()
+        out = nl.cell_by_name("out")
+        nl.disconnect_pin(out, 0)
+        deleted = nl.sweep_redundant()
+        # g2 dies first, then g1 becomes redundant and dies too.
+        assert len(deleted) == 2
+        assert nl.num_luts == 0
+        validate_netlist(nl, require_connected=False)
+
+    def test_sweep_keeps_live_logic(self):
+        nl = build_chain()
+        assert nl.sweep_redundant() == []
+        assert nl.num_luts == 2
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        nl = build_chain()
+        other = nl.clone()
+        g1 = nl.cell_by_name("g1")
+        nl.replicate_cell(g1)
+        assert other.num_cells == 5
+        assert nl.num_cells == 6
+
+    def test_clone_preserves_ids(self):
+        nl = build_chain()
+        other = nl.clone()
+        assert set(other.cells) == set(nl.cells)
+        assert set(other.nets) == set(nl.nets)

@@ -1,0 +1,75 @@
+"""Unit tests for functional simulation and equivalence checking."""
+
+import pytest
+
+from repro.netlist import Netlist, check_equivalence, random_input_sequence, simulate
+from tests.conftest import diamond_netlist, sequential_netlist
+
+
+class TestSimulate:
+    def test_xor_truth(self):
+        nl = Netlist()
+        a, b = nl.add_input("a"), nl.add_input("b")
+        g = nl.add_lut("g", 2, 0b0110)  # XOR
+        o = nl.add_output("o")
+        nl.connect(a, g, 0)
+        nl.connect(b, g, 1)
+        nl.connect(g, o, 0)
+        for va in (0, 1):
+            for vb in (0, 1):
+                out = simulate(nl, [{"a": va, "b": vb}])
+                assert out[0]["o"] == va ^ vb
+
+    def test_ff_delays_one_cycle(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        ff = nl.add_ff("ff")
+        o = nl.add_output("o")
+        nl.connect(a, ff, 0)
+        nl.connect(ff, o, 0)
+        outs = simulate(nl, [{"a": 1}, {"a": 0}, {"a": 1}])
+        # Initial state 0; output is last cycle's input.
+        assert [frame["o"] for frame in outs] == [0, 1, 0]
+
+    def test_missing_input_raises(self):
+        nl = diamond_netlist()
+        with pytest.raises(KeyError):
+            simulate(nl, [{"a": 1}])  # 'b' missing
+
+    def test_random_sequence_deterministic(self):
+        nl = diamond_netlist()
+        assert random_input_sequence(nl, 5, seed=3) == random_input_sequence(
+            nl, 5, seed=3
+        )
+        assert random_input_sequence(nl, 5, seed=3) != random_input_sequence(
+            nl, 5, seed=4
+        )
+
+
+class TestEquivalence:
+    def test_identical_designs_equivalent(self):
+        nl = sequential_netlist()
+        assert check_equivalence(nl, nl.clone())
+
+    def test_detects_function_change(self):
+        nl = diamond_netlist()
+        other = nl.clone()
+        other.cell_by_name("join").truth_table = 0b0001  # AND -> NOR
+        assert not check_equivalence(nl, other)
+
+    def test_detects_io_mismatch(self):
+        nl = diamond_netlist()
+        other = nl.clone()
+        renamed = other.cell_by_name("a")
+        other._names.discard(renamed.name)
+        renamed.name = "zz"
+        assert not check_equivalence(nl, other)
+
+    def test_detects_rewired_sink(self):
+        nl = diamond_netlist()
+        other = nl.clone()
+        out = other.cell_by_name("out")
+        top = other.cell_by_name("top")
+        other.disconnect_pin(out, 0)
+        other.connect(top, out, 0)  # out now reads OR instead of AND
+        assert not check_equivalence(nl, other)

@@ -1,0 +1,80 @@
+"""Unit tests for the SA engine itself (schedule mechanics)."""
+
+import random
+
+import pytest
+
+from repro.place.annealer import AnnealStats, _cooling_rate, anneal, initial_temperature
+
+
+class CountingEvaluator:
+    """1-D toy objective: items on a line, cost = sum of |position|."""
+
+    def __init__(self, items: int = 10, seed: int = 0):
+        rng = random.Random(seed)
+        self.positions = [rng.randint(-50, 50) for _ in range(items)]
+        self.temp_calls = 0
+
+    def propose(self, rng, range_limit):
+        index = rng.randrange(len(self.positions))
+        delta = rng.randint(-range_limit, range_limit)
+        return (index, delta)
+
+    def delta_cost(self, move):
+        index, delta = move
+        old = abs(self.positions[index])
+        new = abs(self.positions[index] + delta)
+        return float(new - old)
+
+    def commit(self, move):
+        index, delta = move
+        self.positions[index] += delta
+
+    def on_temperature(self):
+        self.temp_calls += 1
+
+    def current_cost(self):
+        return float(sum(abs(p) for p in self.positions))
+
+    def cost_scale(self):
+        return self.current_cost() / len(self.positions) + 1e-9
+
+
+class TestAnneal:
+    def test_minimizes_toy_objective(self):
+        evaluator = CountingEvaluator(seed=3)
+        initial = evaluator.current_cost()
+        stats = anneal(evaluator, num_items=10, max_range=50, seed=3, inner_scale=2.0)
+        assert evaluator.current_cost() < initial * 0.2
+        assert stats.temperatures > 1
+        assert stats.moves_accepted > 0
+
+    def test_deterministic(self):
+        first = CountingEvaluator(seed=1)
+        second = CountingEvaluator(seed=1)
+        anneal(first, num_items=10, max_range=50, seed=9)
+        anneal(second, num_items=10, max_range=50, seed=9)
+        assert first.positions == second.positions
+
+    def test_temperature_hook_called(self):
+        evaluator = CountingEvaluator()
+        anneal(evaluator, num_items=10, max_range=50, seed=0, inner_scale=0.5)
+        assert evaluator.temp_calls >= 2
+
+    def test_acceptance_statistics(self):
+        stats = AnnealStats(moves_proposed=10, moves_accepted=4)
+        assert stats.acceptance == pytest.approx(0.4)
+        assert AnnealStats().acceptance == 0.0
+
+
+class TestSchedule:
+    def test_cooling_rates_match_vpr(self):
+        assert _cooling_rate(0.99) == 0.5
+        assert _cooling_rate(0.9) == 0.9
+        assert _cooling_rate(0.5) == 0.95
+        assert _cooling_rate(0.05) == 0.8
+
+    def test_initial_temperature_positive(self):
+        evaluator = CountingEvaluator(seed=5)
+        temp = initial_temperature(evaluator, random.Random(0), probes=20, range_limit=50)
+        assert temp > 0

@@ -1,0 +1,140 @@
+"""Tests for the timing-driven ripple-move legalizer (Section V-A)."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.netlist import Netlist, check_equivalence, validate_netlist
+from repro.place import Placement, TimingDrivenLegalizer, legalize_placement
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def overlapped_instance(extra_cells: int = 0):
+    """Chain with g1 and g2 stacked on one slot (illegal)."""
+    nl = Netlist("overlap")
+    a = nl.add_input("a")
+    g1 = nl.add_lut("g1", 1, 0b01)
+    g2 = nl.add_lut("g2", 1, 0b01)
+    out = nl.add_output("out")
+    nl.connect(a, g1, 0)
+    nl.connect(g1, g2, 0)
+    nl.connect(g2, out, 0)
+    fillers = []
+    for i in range(extra_cells):
+        f = nl.add_lut(f"fill{i}", 1, 0b01)
+        nl.connect(a, f, 0)
+        o = nl.add_output(f"fo{i}")
+        nl.connect(f, o, 0)
+        fillers.append((f, o))
+
+    arch = FpgaArch(5, 5, delay_model=SIMPLE)
+    placement = Placement(arch)
+    placement.place(a, (0, 1))
+    placement.place(out, (6, 1))
+    placement.place(g1, (3, 3))
+    placement.place(g2, (3, 3))  # overlap
+    pad_slots = iter(s for s in arch.pad_slots() if s not in ((0, 1), (6, 1)))
+    logic = iter(s for s in arch.logic_slots() if s != (3, 3))
+    for f, o in fillers:
+        placement.place(f, next(logic))
+        placement.place(o, next(pad_slots))
+    return nl, placement
+
+
+class TestLegalize:
+    def test_resolves_overlap(self):
+        nl, placement = overlapped_instance()
+        result = legalize_placement(nl, placement)
+        assert result.success
+        assert placement.is_legal()
+        assert result.resolved_overlaps == 1
+        assert result.ripple_moves >= 1
+
+    def test_cells_move_at_most_one_slot(self):
+        nl, placement = overlapped_instance()
+        before = {cid: placement.slot_of(cid) for cid in placement.placed_cells()}
+        legalize_placement(nl, placement)
+        arch = placement.arch
+        for cid, old in before.items():
+            if placement.is_placed(cid):
+                assert arch.distance(old, placement.slot_of(cid)) <= 1
+
+    def test_netlist_untouched_without_equivalents(self):
+        nl, placement = overlapped_instance()
+        cells_before = set(nl.cells)
+        legalize_placement(nl, placement)
+        assert set(nl.cells) == cells_before
+
+    def test_multiple_overlaps(self):
+        nl, placement = overlapped_instance(extra_cells=3)
+        g1 = nl.cell_by_name("g1")
+        fill0 = nl.cell_by_name("fill0")
+        placement.place(fill0, placement.slot_of(g1.cell_id))  # second overlap
+        result = legalize_placement(nl, placement)
+        assert result.success
+        assert placement.is_legal()
+        assert result.resolved_overlaps >= 2
+
+    def test_failure_when_no_free_slots(self):
+        nl = Netlist("dense")
+        arch = FpgaArch(2, 2, delay_model=SIMPLE)
+        placement = Placement(arch)
+        a = nl.add_input("a")
+        pads = iter(arch.pad_slots())
+        placement.place(a, next(pads))
+        cells = []
+        for i in range(5):  # 5 cells on 4 slots
+            g = nl.add_lut(f"g{i}", 1, 0b01)
+            nl.connect(a, g, 0)
+            o = nl.add_output(f"o{i}")
+            nl.connect(g, o, 0)
+            cells.append(g)
+            placement.place(o, next(pads))
+        slots = list(arch.logic_slots())
+        for i, g in enumerate(cells):
+            placement.place(g, slots[min(i, 3)])
+        result = legalize_placement(nl, placement)
+        assert not result.success
+        assert not placement.is_legal()
+
+    def test_unification_during_ripple(self):
+        """A rippling cell landing on its equivalent is unified."""
+        nl = Netlist("unify")
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        nl.connect(a, g, 0)
+        replica = nl.replicate_cell(g)
+        out1 = nl.add_output("o1")
+        out2 = nl.add_output("o2")
+        nl.connect(g, out1, 0)
+        nl.connect(replica, out2, 0)
+        blocker = nl.add_lut("blocker", 1, 0b01)
+        nl.connect(a, blocker, 0)
+        out3 = nl.add_output("o3")
+        nl.connect(blocker, out3, 0)
+
+        arch = FpgaArch(4, 4, delay_model=SIMPLE)
+        placement = Placement(arch)
+        placement.place(a, (0, 1))
+        placement.place(out1, (5, 1))
+        placement.place(out2, (5, 2))
+        placement.place(out3, (5, 3))
+        # blocker and g overlap; the replica sits right next door, so the
+        # ripple should unify instead of moving.
+        placement.place(g, (2, 2))
+        placement.place(blocker, (2, 2))
+        placement.place(replica, (3, 2))
+
+        reference = nl.clone()
+        result = legalize_placement(nl, placement)
+        assert placement.is_legal()
+        if result.unifications:
+            assert check_equivalence(reference, nl)
+            validate_netlist(nl)
+
+    def test_alpha_zero_pure_wirelength(self):
+        nl, placement = overlapped_instance()
+        legalizer = TimingDrivenLegalizer(nl, placement, alpha=0.0)
+        result = legalizer.legalize()
+        assert result.success
+        assert placement.is_legal()

@@ -1,0 +1,130 @@
+"""Tests for the placement container and HPWL model."""
+
+import pytest
+
+from repro.arch import FpgaArch
+from repro.netlist import Netlist
+from repro.place import (
+    Placement,
+    PlacementError,
+    crossing_factor,
+    net_bounding_box,
+    net_wirelength,
+    total_wirelength,
+)
+from tests.conftest import diamond_netlist, place_in_row
+
+
+class TestPlacement:
+    def test_place_and_move(self, arch4):
+        nl = Netlist()
+        g = nl.add_lut("g", 1, 0b01)
+        p = Placement(arch4)
+        p.place(g, (1, 1))
+        assert p.slot_of(g.cell_id) == (1, 1)
+        p.place(g, (2, 2))
+        assert p.slot_of(g.cell_id) == (2, 2)
+        assert p.cells_at((1, 1)) == []
+
+    def test_pad_slot_enforcement(self, arch4):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        p = Placement(arch4)
+        with pytest.raises(PlacementError):
+            p.place(a, (1, 1))
+        with pytest.raises(PlacementError):
+            p.place(g, (1, 0))
+
+    def test_overlap_tracked_not_forbidden(self, arch4):
+        nl = Netlist()
+        g1 = nl.add_lut("g1", 1, 0b01)
+        g2 = nl.add_lut("g2", 1, 0b01)
+        p = Placement(arch4)
+        p.place(g1, (1, 1))
+        p.place(g2, (1, 1))
+        assert p.occupancy((1, 1)) == 2
+        assert p.overfull_slots() == [(1, 1)]
+        assert not p.is_legal()
+
+    def test_free_slots(self, arch4):
+        nl = Netlist()
+        g = nl.add_lut("g", 1, 0b01)
+        p = Placement(arch4)
+        p.place(g, (1, 1))
+        free = p.free_logic_slots()
+        assert (1, 1) not in free
+        assert len(free) == 15
+
+    def test_unplaced_lookup_raises(self, arch4):
+        p = Placement(arch4)
+        with pytest.raises(PlacementError):
+            p.slot_of(7)
+        assert p.get(7) is None
+
+    def test_copy_independent(self, arch4):
+        nl = Netlist()
+        g = nl.add_lut("g", 1, 0b01)
+        p = Placement(arch4)
+        p.place(g, (1, 1))
+        q = p.copy()
+        q.place(g, (2, 2))
+        assert p.slot_of(g.cell_id) == (1, 1)
+
+    def test_prune_to(self, arch4):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        nl.connect(a, g, 0)
+        p = Placement(arch4)
+        p.place(g, (1, 1))
+        nl.delete_cell(g)
+        p.prune_to(nl)
+        assert not p.is_placed(g.cell_id)
+
+    def test_assert_complete(self, arch4):
+        nl = Netlist()
+        nl.add_lut("g", 1, 0b01)
+        p = Placement(arch4)
+        with pytest.raises(PlacementError):
+            p.assert_complete(nl)
+
+
+class TestHpwl:
+    def test_crossing_factor_small_nets(self):
+        assert crossing_factor(2) == 1.0
+        assert crossing_factor(3) == 1.0
+        assert crossing_factor(4) > 1.0
+
+    def test_crossing_factor_monotone(self):
+        values = [crossing_factor(k) for k in range(1, 80)]
+        assert values == sorted(values)
+
+    def test_two_pin_net_wirelength(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.add_lut("g", 1, 0b01)
+        nl.connect(a, g, 0)
+        arch = FpgaArch(8, 8)
+        p = Placement(arch)
+        p.place(a, (1, 0))
+        p.place(g, (4, 2))
+        assert a.output is not None
+        assert net_wirelength(nl, p, a.output) == pytest.approx(3 + 2)
+
+    def test_bounding_box(self):
+        nl = diamond_netlist()
+        arch = FpgaArch(8, 8)
+        p = place_in_row(nl, arch)
+        a = nl.cell_by_name("a")
+        assert a.output is not None
+        box = net_bounding_box(nl, p, a.output)
+        assert box is not None
+        xmin, ymin, xmax, ymax = box
+        assert xmin <= xmax and ymin <= ymax
+
+    def test_total_wirelength_positive(self):
+        nl = diamond_netlist()
+        arch = FpgaArch(8, 8)
+        p = place_in_row(nl, arch)
+        assert total_wirelength(nl, p) > 0

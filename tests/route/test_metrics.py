@@ -1,0 +1,77 @@
+"""Tests for routing evaluation metrics (W_min search, low-stress math)."""
+
+import math
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.netlist import Netlist
+from repro.place import Placement
+from repro.route import (
+    find_min_channel_width,
+    route_design,
+    route_infinite,
+    route_low_stress,
+    routed_critical_delay,
+)
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def parallel_bus(width: int):
+    """``width`` disjoint straight nets across one row each."""
+    nl = Netlist("bus")
+    arch = FpgaArch(max(4, width), max(4, width), delay_model=SIMPLE)
+    placement = Placement(arch)
+    for i in range(width):
+        src = nl.add_input(f"i{i}")
+        gate = nl.add_lut(f"g{i}", 1, 0b01)
+        dst = nl.add_output(f"o{i}")
+        nl.connect(src, gate, 0)
+        nl.connect(gate, dst, 0)
+        placement.place(src, (0, i + 1))
+        placement.place(gate, (2, i + 1))
+        placement.place(dst, (arch.width + 1, i + 1))
+    return nl, placement
+
+
+class TestWMinSearch:
+    def test_disjoint_rows_need_one_track(self):
+        nl, placement = parallel_bus(3)
+        assert find_min_channel_width(nl, placement) == 1
+
+    def test_route_success_monotone_in_width(self):
+        """If width W routes, every width above W routes too."""
+        nl, placement = parallel_bus(4)
+        w_min = find_min_channel_width(nl, placement)
+        for width in (w_min, w_min + 1, w_min + 3):
+            assert route_design(nl, placement, width).success
+        if w_min > 1:
+            assert not route_design(nl, placement, w_min - 1).success
+
+    def test_low_stress_margin_formula(self):
+        nl, placement = parallel_bus(3)
+        # ceil(1.2 * W_min) but always at least W_min + 1.
+        for w_min, expected in ((1, 2), (5, 6), (10, 12), (20, 24)):
+            result = route_low_stress(nl, placement, min_width=w_min)
+            assert result.channel_width == expected
+
+
+class TestRoutedDelay:
+    def test_unrouted_connection_falls_back_to_distance(self):
+        """A zero-length or missing route uses the Manhattan estimate."""
+        nl, placement = parallel_bus(2)
+        result = route_infinite(nl, placement)
+        timing = routed_critical_delay(nl, placement, result)
+        # For disjoint straight nets, routed == placement estimate.
+        from repro.timing import analyze
+
+        assert timing.critical_delay == pytest.approx(
+            analyze(nl, placement).critical_delay
+        )
+
+    def test_wirelength_counts_multiplicity(self):
+        nl, placement = parallel_bus(2)
+        result = route_infinite(nl, placement)
+        per_net = sum(route.wirelength for route in result.routes.values())
+        assert result.total_wirelength == per_net

@@ -1,0 +1,177 @@
+"""Tests for the PathFinder router and post-route metrics."""
+
+import math
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.netlist import Netlist
+from repro.place import Placement, random_placement
+from repro.route import (
+    find_min_channel_width,
+    route_design,
+    route_infinite,
+    route_low_stress,
+    routed_critical_delay,
+)
+from repro.timing import analyze
+from tests.conftest import diamond_netlist, place_in_row
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def two_pin_instance():
+    nl = Netlist()
+    a = nl.add_input("a")
+    g = nl.add_lut("g", 1, 0b01)
+    o = nl.add_output("o")
+    nl.connect(a, g, 0)
+    nl.connect(g, o, 0)
+    arch = FpgaArch(6, 6, delay_model=SIMPLE)
+    placement = Placement(arch)
+    placement.place(a, (0, 1))
+    placement.place(g, (3, 1))
+    placement.place(o, (7, 1))
+    return nl, placement
+
+
+class TestBasicRouting:
+    def test_two_pin_shortest(self):
+        nl, placement = two_pin_instance()
+        result = route_infinite(nl, placement)
+        assert result.success
+        # a->g is 3 segments, g->o is 4.
+        assert result.total_wirelength == 7
+
+    def test_sink_hops_recorded(self):
+        nl, placement = two_pin_instance()
+        result = route_infinite(nl, placement)
+        a = nl.cell_by_name("a")
+        assert a.output is not None
+        route = result.routes[a.output]
+        assert route.sink_hops[(3, 1)] == 3
+
+    def test_multi_sink_steiner_sharing(self):
+        """Two sinks in a line share the common trunk."""
+        nl = Netlist()
+        a = nl.add_input("a")
+        g1 = nl.add_lut("g1", 1, 0b01)
+        g2 = nl.add_lut("g2", 1, 0b01)
+        o1 = nl.add_output("o1")
+        o2 = nl.add_output("o2")
+        nl.connect(a, g1, 0)
+        nl.connect(a, g2, 0)
+        nl.connect(g1, o1, 0)
+        nl.connect(g2, o2, 0)
+        arch = FpgaArch(6, 6, delay_model=SIMPLE)
+        placement = Placement(arch)
+        placement.place(a, (0, 1))
+        placement.place(g1, (3, 1))
+        placement.place(g2, (5, 1))
+        placement.place(o1, (0, 2))
+        placement.place(o2, (0, 3))
+        result = route_infinite(nl, placement)
+        assert a.output is not None
+        # Trunk a->g1 (3) shared; extension g1->g2 adds 2: total 5, not 8.
+        assert result.routes[a.output].wirelength == 5
+
+    def test_coincident_sink_costs_nothing(self):
+        nl, placement = two_pin_instance()
+        g = nl.cell_by_name("g")
+        o = nl.cell_by_name("o")
+        placement.place(g, (1, 1))
+        before = route_infinite(nl, placement).total_wirelength
+        assert before > 0  # sanity
+
+    def test_deterministic(self):
+        nl, placement = two_pin_instance()
+        r1 = route_design(nl, placement, 2)
+        r2 = route_design(nl, placement, 2)
+        assert r1.total_wirelength == r2.total_wirelength
+
+
+class TestCongestionNegotiation:
+    def crowded_instance(self):
+        """Many parallel nets forced through one row."""
+        nl = Netlist()
+        arch = FpgaArch(4, 4, delay_model=SIMPLE)
+        placement = Placement(arch)
+        pads_left = [(0, 1), (0, 2), (0, 3)]
+        pads_right = [(5, 1), (5, 2), (5, 3)]
+        for i in range(3):
+            src = nl.add_input(f"i{i}")
+            dst = nl.add_output(f"o{i}")
+            g = nl.add_lut(f"g{i}", 1, 0b01)
+            nl.connect(src, g, 0)
+            nl.connect(g, dst, 0)
+            placement.place(src, pads_left[i])
+            placement.place(dst, pads_right[i])
+            placement.place(g, (2, 2))  # all gates stacked region
+        placement.place(nl.cell_by_name("g0"), (2, 1))
+        placement.place(nl.cell_by_name("g2"), (2, 3))
+        return nl, placement
+
+    def test_width_one_still_routable_by_spreading(self):
+        nl, placement = self.crowded_instance()
+        result = route_design(nl, placement, 1)
+        assert result.success
+        assert result.remaining_overuse == 0
+
+    def test_infinite_never_iterates(self):
+        nl, placement = self.crowded_instance()
+        result = route_infinite(nl, placement)
+        assert result.iterations == 1
+        assert result.success
+
+    def test_congested_width_uses_more_wire(self):
+        nl, placement = self.crowded_instance()
+        tight = route_design(nl, placement, 1)
+        loose = route_infinite(nl, placement)
+        assert tight.total_wirelength >= loose.total_wirelength
+
+
+class TestChannelWidthSearch:
+    def test_min_width_small_design(self):
+        nl, placement = two_pin_instance()
+        assert find_min_channel_width(nl, placement) == 1
+
+    def test_low_stress_has_margin(self):
+        nl, placement = two_pin_instance()
+        result = route_low_stress(nl, placement, min_width=5)
+        assert result.channel_width >= 6
+        assert result.success
+
+    def test_denser_design_needs_more_tracks(self):
+        nl = diamond_netlist()
+        arch = FpgaArch(4, 4, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        width = find_min_channel_width(nl, placement)
+        assert 1 <= width <= 8
+
+
+class TestRoutedTiming:
+    def test_matches_placement_estimate_when_uncongested(self):
+        nl, placement = two_pin_instance()
+        estimate = analyze(nl, placement).critical_delay
+        routing = route_infinite(nl, placement)
+        timing = routed_critical_delay(nl, placement, routing)
+        assert timing.critical_delay == pytest.approx(estimate)
+
+    def test_congestion_increases_delay(self):
+        nl = diamond_netlist()
+        arch = FpgaArch(5, 5, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        free = routed_critical_delay(nl, placement, route_infinite(nl, placement))
+        tight_routing = route_design(nl, placement, 1)
+        if tight_routing.success:
+            tight = routed_critical_delay(nl, placement, tight_routing)
+            assert tight.critical_delay >= free.critical_delay - 1e-9
+
+    def test_random_placement_routes(self):
+        nl = diamond_netlist()
+        arch = FpgaArch(5, 5, delay_model=SIMPLE)
+        placement = random_placement(nl, arch, seed=9)
+        result = route_low_stress(nl, placement)
+        assert result.success
+        timing = routed_critical_delay(nl, placement, result)
+        assert timing.critical_delay > 0

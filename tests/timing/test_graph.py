@@ -1,0 +1,53 @@
+"""Tests for timing-graph traversal helpers."""
+
+from repro.timing import cone_connections, fanin_cone, min_logic_depth
+from tests.conftest import diamond_netlist, sequential_netlist
+
+
+class TestConeConnections:
+    def test_diamond_connections(self):
+        nl = diamond_netlist()
+        out = nl.cell_by_name("out")
+        cone = fanin_cone(nl, (out.cell_id, 0))
+        connections = cone_connections(nl, cone)
+        # a/b -> top/bottom (4), top/bottom -> join (2), join -> out (1).
+        assert len(connections) == 7
+        for driver, sink, pin in connections:
+            assert driver in cone and sink in cone
+            net_id = nl.cells[sink].inputs[pin]
+            assert net_id is not None
+            assert nl.nets[net_id].driver == driver
+
+    def test_ff_d_edges_excluded(self):
+        nl = sequential_netlist()
+        out = nl.cell_by_name("out")
+        cone = fanin_cone(nl, (out.cell_id, 0))
+        connections = cone_connections(nl, cone)
+        ff = nl.cell_by_name("ff")
+        # The FF participates only through its Q output, never its D pin.
+        assert all(sink != ff.cell_id for _d, sink, _p in connections)
+
+    def test_partial_cone(self):
+        nl = diamond_netlist()
+        join = nl.cell_by_name("join")
+        top = nl.cell_by_name("top")
+        subset = {join.cell_id, top.cell_id}
+        connections = cone_connections(nl, subset)
+        assert connections == [(top.cell_id, join.cell_id, 0)]
+
+
+class TestMinLogicDepth:
+    def test_unreachable_cells_absent(self):
+        nl = sequential_netlist()
+        out = nl.cell_by_name("out")
+        depth = min_logic_depth(nl, (out.cell_id, 0))
+        g1 = nl.cell_by_name("g1")
+        # g1 is behind the FF: not in this endpoint's combinational cone.
+        assert g1.cell_id not in depth
+
+    def test_start_points_have_depth(self):
+        nl = sequential_netlist()
+        out = nl.cell_by_name("out")
+        depth = min_logic_depth(nl, (out.cell_id, 0))
+        ff = nl.cell_by_name("ff")
+        assert depth[ff.cell_id] == 1  # one LUT (g2) between Q and the pad

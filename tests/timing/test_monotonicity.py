@@ -1,0 +1,86 @@
+"""Tests for path monotonicity metrics (Sections I, VII-B)."""
+
+import pytest
+
+from repro.arch import FpgaArch
+from repro.netlist import Netlist
+from repro.place import Placement
+from repro.timing import (
+    is_monotone,
+    locally_nonmonotone_cells,
+    nonmonotone_ratio,
+    path_length,
+)
+
+
+def three_cell_instance(positions):
+    """Three LUTs chained, placed at the given logic slots."""
+    nl = Netlist()
+    a = nl.add_input("a")
+    cells = [a]
+    for i in range(3):
+        g = nl.add_lut(f"g{i}", 1, 0b01)
+        nl.connect(cells[-1], g, 0)
+        cells.append(g)
+    arch = FpgaArch(8, 8)
+    placement = Placement(arch)
+    placement.place(a, (1, 0))
+    for cell, slot in zip(cells[1:], positions):
+        placement.place(cell, slot)
+    return nl, placement, [c.cell_id for c in cells[1:]]
+
+
+class TestMonotone:
+    def test_straight_line_is_monotone(self):
+        _nl, placement, path = three_cell_instance([(1, 1), (2, 1), (3, 1)])
+        assert is_monotone(placement, path)
+        assert nonmonotone_ratio(placement, path) == pytest.approx(1.0)
+
+    def test_detour_is_not_monotone(self):
+        _nl, placement, path = three_cell_instance([(1, 1), (5, 1), (2, 1)])
+        assert not is_monotone(placement, path)
+        assert nonmonotone_ratio(placement, path) > 1.0
+
+    def test_l_shape_is_monotone(self):
+        # Manhattan geometry: an L detours nothing.
+        _nl, placement, path = three_cell_instance([(1, 1), (1, 3), (4, 3)])
+        assert is_monotone(placement, path)
+
+    def test_short_paths_trivially_monotone(self):
+        _nl, placement, path = three_cell_instance([(1, 1), (2, 1), (3, 1)])
+        assert is_monotone(placement, path[:1])
+        assert is_monotone(placement, [])
+
+
+class TestLocalMonotonicity:
+    def test_staircase_is_locally_monotone_but_globally_not(self):
+        """The Fig. 3 phenomenon: windows straight, whole path bent."""
+        nl = Netlist()
+        a = nl.add_input("a")
+        cells = [a]
+        # Zig-zag: right, up, right, down-left back toward the start column.
+        slots = [(2, 2), (4, 2), (4, 4), (2, 4)]
+        for i in range(4):
+            g = nl.add_lut(f"g{i}", 1, 0b01)
+            nl.connect(cells[-1], g, 0)
+            cells.append(g)
+        arch = FpgaArch(8, 8)
+        placement = Placement(arch)
+        placement.place(a, (1, 0))
+        for cell, slot in zip(cells[1:], slots):
+            placement.place(cell, slot)
+        path = [c.cell_id for c in cells[1:]]
+        # Each length-3 window is monotone (L-shapes)...
+        assert locally_nonmonotone_cells(placement, path) == []
+        # ...but the full path detours: (2,2)->(2,4) direct is 2, traversed 6.
+        assert not is_monotone(placement, path)
+
+    def test_detour_cell_identified(self):
+        _nl, placement, path = three_cell_instance([(1, 1), (5, 5), (2, 1)])
+        assert locally_nonmonotone_cells(placement, path) == [path[1]]
+
+
+class TestPathLength:
+    def test_sum_of_hops(self):
+        _nl, placement, path = three_cell_instance([(1, 1), (3, 1), (3, 4)])
+        assert path_length(placement, path) == 2 + 3

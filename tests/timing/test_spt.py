@@ -1,0 +1,117 @@
+"""Tests for slowest-paths-tree and ε-SPT extraction (Section III/V-B)."""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.timing import analyze, build_spt, fanin_cone
+from tests.conftest import chain_netlist, diamond_netlist, place_in_row, sequential_netlist
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def make(nl):
+    arch = FpgaArch(8, 8, delay_model=SIMPLE)
+    placement = place_in_row(nl, arch)
+    analysis = analyze(nl, placement)
+    return placement, analysis
+
+
+class TestFaninCone:
+    def test_chain_cone_is_whole_path(self):
+        nl = chain_netlist(depth=3)
+        out = nl.cell_by_name("out")
+        cone = fanin_cone(nl, (out.cell_id, 0))
+        assert len(cone) == 5  # out + 3 luts + input
+
+    def test_cone_stops_at_ff(self):
+        nl = sequential_netlist()
+        out = nl.cell_by_name("out")
+        cone = fanin_cone(nl, (out.cell_id, 0))
+        ff = nl.cell_by_name("ff")
+        g1 = nl.cell_by_name("g1")
+        assert ff.cell_id in cone  # FF is a leaf of the cone
+        assert g1.cell_id not in cone  # behind the FF: different path group
+
+
+class TestSpt:
+    def test_every_cone_cell_has_parent(self):
+        nl = diamond_netlist()
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        sink = spt.endpoint[0]
+        for cid in spt.downstream:
+            if cid == sink:
+                assert spt.parent[cid] is None
+            else:
+                assert spt.parent[cid] is not None
+
+    def test_tree_points_to_root(self):
+        nl = diamond_netlist()
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        sink = spt.endpoint[0]
+        for cid in spt.downstream:
+            cursor = cid
+            hops = 0
+            while spt.parent[cursor] is not None:
+                cursor = spt.parent[cursor][0]
+                hops += 1
+                assert hops < 100
+            assert cursor == sink
+
+    def test_critical_path_delay_matches_sta(self):
+        nl = diamond_netlist()
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        assert spt.sink_delay == pytest.approx(analysis.critical_delay)
+        assert max(spt.path_delay.values()) == pytest.approx(analysis.critical_delay)
+
+    def test_downstream_consistency(self):
+        """arrival(u) + downstream(u) along the critical path == sink delay."""
+        nl = chain_netlist(depth=4)
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        for cid in analysis.critical_path()[:-1]:
+            assert spt.path_delay[cid] == pytest.approx(spt.sink_delay)
+
+
+class TestEpsilonSpt:
+    def test_zero_epsilon_keeps_only_critical(self):
+        nl = diamond_netlist()
+        placement, analysis = make(nl)
+        # Separate top/bottom so one is strictly slower.
+        top = nl.cell_by_name("top")
+        placement.place(top, (6, 6))
+        analysis = analyze(nl, placement)
+        spt = build_spt(nl, analysis)
+        nodes = spt.epsilon_nodes(0.0)
+        bottom = nl.cell_by_name("bottom")
+        assert top.cell_id in nodes
+        assert bottom.cell_id not in nodes
+
+    def test_large_epsilon_keeps_everything(self):
+        nl = diamond_netlist()
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        nodes = spt.epsilon_nodes(1e9)
+        assert nodes == set(spt.path_delay)
+
+    def test_epsilon_set_is_upward_closed(self):
+        nl = diamond_netlist()
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        for eps in (0.0, 1.0, 3.0, 10.0):
+            nodes = spt.epsilon_nodes(eps)
+            for cid in nodes:
+                parent = spt.parent[cid]
+                if parent is not None:
+                    assert parent[0] in nodes, "ε-SPT must be connected to the root"
+
+    def test_edges_within_nodes(self):
+        nl = diamond_netlist()
+        _placement, analysis = make(nl)
+        spt = build_spt(nl, analysis)
+        nodes = spt.epsilon_nodes(2.0)
+        for child, (parent, _pin) in spt.epsilon_tree_edges(2.0):
+            assert child in nodes
+            assert parent in nodes

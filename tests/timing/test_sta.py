@@ -1,0 +1,168 @@
+"""Unit tests for static timing analysis."""
+
+import math
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.timing import analyze
+from tests.conftest import chain_netlist, diamond_netlist, place_in_row, sequential_netlist
+
+SIMPLE = LinearDelayModel(
+    wire_delay_per_unit=1.0,
+    connection_delay=0.0,
+    lut_delay=1.0,
+    ff_clk_to_q=0.0,
+    ff_setup=0.0,
+    pad_delay=0.0,
+)
+
+
+def make_arch(side: int = 6) -> FpgaArch:
+    return FpgaArch(side, side, delay_model=SIMPLE)
+
+
+class TestArrival:
+    def test_chain_delay_hand_computed(self):
+        nl = chain_netlist(depth=2)
+        arch = make_arch()
+        placement = place_in_row(nl, arch)
+        # Slots: a=(1,0) pad; g1=(1,1); g2=(2,1); out=(2,0) pad.
+        analysis = analyze(nl, placement)
+        g1 = nl.cell_by_name("g1")
+        g2 = nl.cell_by_name("g2")
+        # a->g1: dist 1, +lut 1 => arrival(g1)=2
+        assert analysis.arrival[g1.cell_id] == pytest.approx(2.0)
+        # g1->g2: dist 1, +lut 1 => arrival(g2)=4
+        assert analysis.arrival[g2.cell_id] == pytest.approx(4.0)
+        # g2->out: dist 1 => endpoint 5
+        assert analysis.critical_delay == pytest.approx(5.0)
+
+    def test_max_over_fanins(self):
+        nl = diamond_netlist()
+        arch = make_arch()
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        join = nl.cell_by_name("join")
+        top = nl.cell_by_name("top")
+        bottom = nl.cell_by_name("bottom")
+        expected = max(
+            analysis.arrival[top.cell_id]
+            + analysis.connection_delay(top.cell_id, join.cell_id),
+            analysis.arrival[bottom.cell_id]
+            + analysis.connection_delay(bottom.cell_id, join.cell_id),
+        ) + 1.0
+        assert analysis.arrival[join.cell_id] == pytest.approx(expected)
+
+    def test_ff_boundaries(self):
+        nl = sequential_netlist()
+        arch = make_arch()
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        ff = nl.cell_by_name("ff")
+        # FF Q launches at clk_to_q = 0.
+        assert analysis.arrival[ff.cell_id] == pytest.approx(0.0)
+        # FF D pin is an endpoint.
+        assert (ff.cell_id, 0) in analysis.endpoint_arrival
+
+    def test_launch_capture_overheads(self):
+        model = LinearDelayModel(
+            wire_delay_per_unit=1.0,
+            connection_delay=0.0,
+            lut_delay=1.0,
+            ff_clk_to_q=0.25,
+            ff_setup=0.5,
+            pad_delay=0.75,
+        )
+        nl = sequential_netlist()
+        arch = FpgaArch(6, 6, delay_model=model)
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        ff = nl.cell_by_name("ff")
+        assert analysis.arrival[ff.cell_id] == pytest.approx(0.25)
+        g2 = nl.cell_by_name("g2")
+        out = nl.cell_by_name("out")
+        expected = (
+            analysis.arrival[g2.cell_id]
+            + analysis.connection_delay(g2.cell_id, out.cell_id)
+            + 0.75
+        )
+        assert analysis.endpoint_arrival[(out.cell_id, 0)] == pytest.approx(expected)
+
+
+class TestSlackAndCriticality:
+    def test_worst_slack_zero(self):
+        nl = diamond_netlist()
+        arch = make_arch()
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        slacks = []
+        for net in nl.nets.values():
+            for sink, pin in net.sinks:
+                assert net.driver is not None
+                slacks.append(analysis.connection_slack(net.driver, sink, pin))
+        assert min(slacks) == pytest.approx(0.0, abs=1e-9)
+        assert all(s >= -1e-9 for s in slacks)
+
+    def test_critical_connection_has_criticality_one(self):
+        nl = chain_netlist(depth=3)
+        arch = make_arch()
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        path = analysis.critical_path()
+        for u, v in zip(path, path[1:]):
+            pins = [p for (c, p) in nl.fanout_pins(u) if c == v]
+            assert pins, "path edge must be a real connection"
+            assert analysis.criticality(u, v, pins[0]) == pytest.approx(1.0)
+
+    def test_required_leq_arrival_plus_slack(self):
+        nl = diamond_netlist()
+        arch = make_arch()
+        placement = place_in_row(nl, arch)
+        analysis = analyze(nl, placement)
+        for cid, arr in analysis.arrival.items():
+            req = analysis.required[cid]
+            if math.isinf(req):
+                continue
+            assert req >= arr - 1e-9  # non-negative slack everywhere
+
+
+class TestCriticalPath:
+    def test_path_starts_at_start_point(self):
+        nl = diamond_netlist()
+        placement = place_in_row(nl, make_arch())
+        analysis = analyze(nl, placement)
+        path = analysis.critical_path()
+        assert nl.cells[path[0]].is_timing_start
+        assert nl.cells[path[-1]].is_timing_end
+
+    def test_path_is_connected(self):
+        nl = chain_netlist(depth=4)
+        placement = place_in_row(nl, make_arch())
+        analysis = analyze(nl, placement)
+        path = analysis.critical_path()
+        for u, v in zip(path, path[1:]):
+            assert v in [c for c, _p in nl.fanout_pins(u)]
+
+    def test_empty_design(self):
+        from repro.netlist import Netlist
+
+        nl = Netlist("empty")
+        nl.add_input("a")
+        placement = place_in_row(nl, make_arch())
+        analysis = analyze(nl, placement)
+        assert analysis.critical_delay == 0.0
+        assert analysis.critical_path() == []
+
+
+class TestWorstPathThrough:
+    def test_on_critical_path_equals_critical_delay(self):
+        nl = chain_netlist(depth=3)
+        placement = place_in_row(nl, make_arch())
+        analysis = analyze(nl, placement)
+        for cid in analysis.critical_path():
+            cell = nl.cells[cid]
+            if cell.is_lut:
+                assert analysis.cell_worst_path_delay(cid) == pytest.approx(
+                    analysis.critical_delay
+                )
