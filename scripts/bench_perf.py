@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: micro-benchmark the flow's hot paths.
+
+Runs the embedder / STA / legalizer / flow micro-benchmarks (the same
+workloads as ``benchmarks/bench_components.py``) and writes
+``BENCH_perf.json`` with per-phase wall times plus the perf-counter
+registry, so successive PRs have a committed perf trajectory to compare
+against.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py                # full run
+    PYTHONPATH=src python scripts/bench_perf.py --quick        # CI smoke
+    PYTHONPATH=src python scripts/bench_perf.py --out BENCH_perf.json \
+        --baseline /tmp/before.json   # embed a prior run as "before"
+
+Each phase is timed as the best of ``--repeats`` runs (min is the right
+statistic for wall-clock micro-benchmarks: noise is strictly additive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Workloads (mirror benchmarks/bench_components.py)
+# ----------------------------------------------------------------------
+
+
+def _placed_circuit(luts: int = 400, seed: int = 3):
+    from repro.arch.fpga import FpgaArch
+    from repro.bench.generator import CircuitSpec, generate_circuit
+    from repro.place.initial import random_placement
+
+    spec = CircuitSpec(
+        "bench", luts=luts, inputs=30, outputs=30, ff_fraction=0.1, depth=9
+    )
+    netlist = generate_circuit(spec, scale=1.0)
+    arch = FpgaArch.min_square_for(netlist.num_logic_blocks, netlist.num_pads)
+    placement = random_placement(netlist, arch, seed=seed)
+    return netlist, placement
+
+
+def phase_sta_full(repeats: int, quick: bool) -> float:
+    from repro.timing.sta import analyze
+
+    netlist, placement = _placed_circuit(luts=120 if quick else 400)
+    return _best_of(lambda: analyze(netlist, placement), repeats)
+
+
+def phase_sta_after_move(repeats: int, quick: bool) -> float:
+    """Timing refresh cost after single-cell moves (the legalizer's loop).
+
+    Uses :class:`repro.timing.incremental.IncrementalSTA` when available
+    (post perf-layer), else a full ``analyze`` per move (the seed code's
+    behaviour) — the workload is the same either way: move a cell, get a
+    fresh, complete timing view.
+    """
+    from repro.timing.sta import analyze
+
+    netlist, placement = _placed_circuit(luts=120 if quick else 400)
+    luts = [c.cell_id for c in netlist.cells.values() if c.is_lut]
+    moves = luts[: 10 if quick else 40]
+    free = placement.free_logic_slots()
+
+    try:
+        from repro.timing.incremental import IncrementalSTA
+    except ImportError:
+        IncrementalSTA = None
+
+    def run_full() -> None:
+        for i, cid in enumerate(moves):
+            cell = netlist.cells[cid]
+            original = placement.slot_of(cid)
+            placement.place(cell, free[i % len(free)])
+            analyze(netlist, placement)
+            placement.place(cell, original)
+            analyze(netlist, placement)
+
+    def run_incremental() -> None:
+        sta = IncrementalSTA(netlist, placement)
+        sta.analysis()
+        for i, cid in enumerate(moves):
+            cell = netlist.cells[cid]
+            original = placement.slot_of(cid)
+            placement.place(cell, free[i % len(free)])
+            sta.analysis()
+            placement.place(cell, original)
+            sta.analysis()
+        sta.detach()
+
+    if IncrementalSTA is not None:
+        return _best_of(run_incremental, repeats)
+    return _best_of(run_full, repeats)
+
+
+def _bench_tree(leaves: int):
+    from repro.arch.delay import LinearDelayModel
+    from repro.arch.fpga import FpgaArch
+    from repro.core.embedding_graph import GridEmbeddingGraph
+    from repro.core.topology import FaninTree
+
+    model = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+    arch = FpgaArch(12, 12, delay_model=model)
+    graph = GridEmbeddingGraph(arch, include_pads=False)
+    tree = FaninTree()
+    nodes = [
+        tree.add_leaf(graph.vertex_at((1 + (i % 3), 1 + i)), arrival=0.0)
+        for i in range(leaves)
+    ]
+    while len(nodes) > 1:
+        nodes = [
+            tree.add_internal(nodes[i : i + 2], gate_delay=1.0)
+            for i in range(0, len(nodes) - 1, 2)
+        ] + (nodes[-1:] if len(nodes) % 2 else [])
+    tree.set_root(nodes[0], gate_delay=0.0, vertex=graph.vertex_at((11, 6)))
+    return graph, tree
+
+
+def phase_embedder(leaves: int, repeats: int) -> float:
+    from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
+
+    graph, tree = _bench_tree(leaves)
+    embedder = FaninTreeEmbedder(
+        graph, options=EmbedderOptions(max_labels_per_vertex=6)
+    )
+    result = embedder.embed(tree)
+    assert len(result.root_front) >= 1
+    return _best_of(lambda: embedder.embed(tree), repeats)
+
+
+def phase_embedder_lex3(repeats: int) -> float:
+    from repro.arch.delay import LinearDelayModel
+    from repro.arch.fpga import FpgaArch
+    from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
+    from repro.core.embedding_graph import GridEmbeddingGraph
+    from repro.core.signatures import LexScheme
+    from repro.core.topology import FaninTree
+
+    model = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+    arch = FpgaArch(10, 10, delay_model=model)
+    graph = GridEmbeddingGraph(arch, include_pads=False)
+    tree = FaninTree()
+    leaves = [
+        tree.add_leaf(graph.vertex_at((1, 1 + i)), arrival=float(i % 3))
+        for i in range(6)
+    ]
+    mid1 = tree.add_internal(leaves[:3], gate_delay=1.0)
+    mid2 = tree.add_internal(leaves[3:], gate_delay=1.0)
+    top = tree.add_internal([mid1, mid2], gate_delay=1.0)
+    tree.set_root(top, gate_delay=0.0, vertex=graph.vertex_at((9, 5)))
+    embedder = FaninTreeEmbedder(
+        graph, scheme=LexScheme(3), options=EmbedderOptions(max_labels_per_vertex=6)
+    )
+    return _best_of(lambda: embedder.embed(tree), repeats)
+
+
+def phase_flow_micro(repeats: int, quick: bool) -> float:
+    """A few full optimizer iterations on a generated circuit."""
+    from repro.arch.fpga import FpgaArch
+    from repro.bench.generator import CircuitSpec, generate_circuit
+    from repro.core.config import ReplicationConfig
+    from repro.core.flow import optimize_replication
+    from repro.place.initial import random_placement
+
+    spec = CircuitSpec(
+        "flowbench",
+        luts=60 if quick else 150,
+        inputs=16,
+        outputs=16,
+        ff_fraction=0.15,
+        depth=7,
+    )
+
+    def run() -> None:
+        netlist = generate_circuit(spec, scale=1.0)
+        arch = FpgaArch.min_square_for(netlist.num_logic_blocks, netlist.num_pads)
+        placement = random_placement(netlist, arch, seed=1)
+        config = ReplicationConfig(
+            max_iterations=2 if quick else 6,
+            patience=2,
+            max_tree_nodes=24,
+            max_labels_per_vertex=6,
+        )
+        optimize_replication(netlist, placement, config)
+
+    return _best_of(run, repeats)
+
+
+def phase_legalizer(repeats: int, quick: bool) -> float:
+    """Legalize a deliberately overfull placement."""
+    from repro.place.legalizer import TimingDrivenLegalizer
+
+    def run() -> None:
+        netlist, placement = _placed_circuit(luts=80 if quick else 200, seed=5)
+        luts = [c for c in netlist.cells.values() if c.is_lut]
+        # Stack a handful of cells onto already-occupied slots.
+        squeeze = luts[: 4 if quick else 10]
+        target = placement.slot_of(luts[-1].cell_id)
+        for cell in squeeze:
+            placement.place(cell, target)
+        TimingDrivenLegalizer(netlist, placement).legalize()
+
+    return _best_of(run, repeats)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+PHASES = (
+    "sta_full",
+    "sta_after_move",
+    "embedder_tree6",
+    "embedder_tree12",
+    "embedder_lex3",
+    "legalizer",
+    "flow_micro",
+)
+
+
+def run_phases(repeats: int, quick: bool) -> dict[str, float]:
+    timings: dict[str, float] = {}
+    timings["sta_full"] = phase_sta_full(repeats, quick)
+    timings["sta_after_move"] = phase_sta_after_move(repeats, quick)
+    timings["embedder_tree6"] = phase_embedder(6, repeats)
+    timings["embedder_tree12"] = phase_embedder(12, repeats)
+    timings["embedder_lex3"] = phase_embedder_lex3(repeats)
+    timings["legalizer"] = phase_legalizer(repeats, quick)
+    timings["flow_micro"] = phase_flow_micro(max(1, repeats - 1), quick)
+    return timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_perf.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="prior bench_perf JSON to embed as the 'before' column",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only, do not write --out"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.perf import PERF
+
+        PERF.enable()
+        PERF.reset()
+    except ImportError:  # seed code without the perf registry
+        PERF = None
+
+    timings = run_phases(args.repeats, args.quick)
+
+    report: dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+            "repeats": args.repeats,
+        },
+        "phases": timings,
+    }
+    if PERF is not None:
+        report["counters"] = PERF.snapshot()["counters"]
+        report["timers"] = PERF.snapshot()["timers"]
+
+    width = max(len(name) for name in timings)
+    if args.baseline is not None and args.baseline.exists():
+        before = json.loads(args.baseline.read_text())
+        before_phases = before.get("phases", before)
+        report["baseline"] = before_phases
+        speedups = {}
+        print(f"{'phase':<{width}}  {'before':>10}  {'after':>10}  speedup")
+        for name, after_s in timings.items():
+            before_s = before_phases.get(name)
+            if before_s:
+                speedups[name] = before_s / after_s if after_s else math.inf
+                print(
+                    f"{name:<{width}}  {before_s:>10.4f}  {after_s:>10.4f}  "
+                    f"{speedups[name]:>6.2f}x"
+                )
+            else:
+                print(f"{name:<{width}}  {'-':>10}  {after_s:>10.4f}")
+        report["speedup"] = speedups
+    else:
+        print(f"{'phase':<{width}}  {'seconds':>10}")
+        for name, seconds in timings.items():
+            print(f"{name:<{width}}  {seconds:>10.4f}")
+
+    if not args.no_write:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

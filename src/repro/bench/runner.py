@@ -17,6 +17,8 @@ full-suite run tractable in pure Python).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -27,6 +29,7 @@ from repro.core.config import ReplicationConfig
 from repro.core.flow import OptimizationResult, optimize_replication
 from repro.core.signatures import scheme_by_name
 from repro.netlist.netlist import Netlist
+from repro.perf import PERF
 from repro.place.placement import Placement
 from repro.place.timing_driven import place_timing_driven
 from repro.route.metrics import (
@@ -111,7 +114,12 @@ def run_vpr_baseline(
     )
 
 
-def replication_config(algorithm: str, effort: float = 1.0) -> ReplicationConfig:
+def replication_config(
+    algorithm: str,
+    effort: float = 1.0,
+    batch_sinks: int = 1,
+    jobs: int = 1,
+) -> ReplicationConfig:
     """Config for one algorithm key at a relative effort level."""
     scheme = scheme_by_name("rt" if algorithm == "rt" else algorithm)
     return ReplicationConfig(
@@ -120,6 +128,8 @@ def replication_config(algorithm: str, effort: float = 1.0) -> ReplicationConfig
         patience=max(2, int(6 * effort)),
         max_tree_nodes=max(12, int(48 * effort)),
         max_labels_per_vertex=6,
+        batch_sinks=batch_sinks,
+        jobs=jobs,
     )
 
 
@@ -128,6 +138,8 @@ def run_variant(
     algorithm: str,
     effort: float = 1.0,
     seed: int = 0,
+    batch_sinks: int = 1,
+    jobs: int = 1,
 ) -> VariantRun:
     """Run one optimization algorithm against a baseline and re-route."""
     netlist = baseline.netlist.clone()
@@ -139,7 +151,9 @@ def run_variant(
         replicated, unified = result.replicated, 0
     else:
         opt: OptimizationResult = optimize_replication(
-            netlist, placement, replication_config(algorithm, effort)
+            netlist,
+            placement,
+            replication_config(algorithm, effort, batch_sinks=batch_sinks, jobs=jobs),
         )
         replicated, unified = opt.total_replicated, opt.total_unified
         history = opt.history
@@ -211,7 +225,31 @@ def main(argv: list[str] | None = None) -> int:
         default="local,rt,lex-3",
         help=f"CSV of {ALGORITHMS} (table2/table3)",
     )
+    parser.add_argument(
+        "--batch-sinks",
+        type=int,
+        default=1,
+        help="tied critical endpoints embedded per iteration (1 = paper loop)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for batched embeddings (bit-identical results)",
+    )
+    parser.add_argument(
+        "--perf-json",
+        default=None,
+        metavar="PATH",
+        help="overhead only: dump the perf counter/timer snapshot as JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.perf_json is not None:
+        # Fail before the (long) experiment, not after it.
+        parent = os.path.dirname(os.path.abspath(args.perf_json))
+        if not os.path.isdir(parent):
+            parser.error(f"--perf-json: directory {parent!r} does not exist")
 
     if args.circuits in ("all", "small", "large"):
         names = suite_names(args.circuits)
@@ -243,14 +281,34 @@ def main(argv: list[str] | None = None) -> int:
         run = run_variant(baseline, "rt", effort=args.effort, seed=args.seed)
         print(tables.format_fig14(run, scale=args.scale))
     elif args.experiment == "overhead":
+        # The overhead experiment is the perf-observability entry point:
+        # it runs with the PERF registry enabled and reports where the
+        # optimizer's time actually went, phase by phase.
+        PERF.reset()
+        PERF.enable()
         total_pr = 0.0
         total_opt = 0.0
         for name in names:
             baseline = run_vpr_baseline(name, scale=args.scale, seed=args.seed)
-            run = run_variant(baseline, "rt", effort=args.effort, seed=args.seed)
+            run = run_variant(
+                baseline,
+                "rt",
+                effort=args.effort,
+                seed=args.seed,
+                batch_sinks=args.batch_sinks,
+                jobs=args.jobs,
+            )
             total_pr += baseline.place_route_seconds
             total_opt += run.seconds
+        PERF.disable()
         print(tables.format_overhead(total_opt, total_pr, scale=args.scale))
+        print()
+        print(PERF.format())
+        if args.perf_json:
+            with open(args.perf_json, "w") as handle:
+                json.dump(PERF.snapshot(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"perf snapshot written to {args.perf_json}")
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.bench.suite import SPEC_BY_NAME, suite_circuit
 from repro.core.flow import optimize_replication
 from repro.netlist.blif import read_blif, write_blif
 from repro.netlist.validate import validate_netlist
+from repro.perf import PERF
 from repro.place.serialize import placement_from_json, placement_to_json
 from repro.place.timing_driven import place_timing_driven
 from repro.route.metrics import route_infinite, route_low_stress, routed_critical_delay
@@ -62,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--effort", type=float, default=1.0,
                         help="replication-flow effort dial")
+    parser.add_argument("--batch-sinks", type=int, default=1,
+                        help="tied critical endpoints embedded per iteration "
+                        "(1 = paper's one-sink loop)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for batched embeddings "
+                        "(results are bit-identical for any value)")
+    parser.add_argument("--perf", action="store_true",
+                        help="print perf counters/timers after the flow")
     parser.add_argument("--route", action="store_true",
                         help="run low-stress + infinite routing at the end")
     parser.add_argument("--in-placement", type=Path,
@@ -107,10 +116,22 @@ def main(argv: list[str] | None = None) -> int:
         print(render_placement(netlist, placement))
 
     if args.algorithm != "none":
+        if args.perf:
+            PERF.reset()
+            PERF.enable()
         start = time.perf_counter()
         result = optimize_replication(
-            netlist, placement, replication_config(args.algorithm, args.effort)
+            netlist,
+            placement,
+            replication_config(
+                args.algorithm,
+                args.effort,
+                batch_sinks=args.batch_sinks,
+                jobs=args.jobs,
+            ),
         )
+        if args.perf:
+            PERF.disable()
         print(
             f"replication ({args.algorithm}) in {time.perf_counter() - start:.1f}s: "
             f"{result.initial_delay:.2f} -> {result.final_delay:.2f} "
@@ -118,6 +139,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{result.total_unified} unified, {len(result.history)} iterations)"
         )
         print(render_history(result.history))
+        if args.perf:
+            print(PERF.format())
         validate_netlist(netlist)
         if args.draw:
             print(render_placement(netlist, placement))

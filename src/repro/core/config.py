@@ -56,6 +56,15 @@ class ReplicationConfig:
             critical FF sink stops improving.
         ff_relocation_slack: Fractional degradation allowed on other
             paths touching a relocated FF.
+        batch_sinks: Maximum number of end points *tied at the critical
+            delay* embedded per iteration (algorithm knob).  The default
+            1 reproduces the paper's one-sink-per-iteration loop exactly;
+            larger values embed several tied sinks against the same STA
+            snapshot and merge the results in deterministic sink order.
+        jobs: Worker processes for batched per-sink embeddings (execution
+            knob).  Results are bit-identical for any value: parallelism
+            only changes who computes each sink's embedding, never the
+            merge order.  Only effective when ``batch_sinks > 1``.
         seed: Reserved for deterministic tie-breaking (the flow itself
             has no randomized components, as the paper notes).
     """
@@ -79,4 +88,6 @@ class ReplicationConfig:
     aggressive_unification: bool = True
     allow_ff_relocation: bool = True
     ff_relocation_slack: float = 0.05
+    batch_sinks: int = 1
+    jobs: int = 1
     seed: int = 0

@@ -36,15 +36,23 @@ Two paper-faithful details:
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
+from bisect import bisect_left, bisect_right
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.embedding_graph import EmbeddingGraph
 from repro.core.signatures import DelayScheme, MaxArrivalScheme, SortKey
-from repro.core.solutions import BitAwareFront, Label, ParetoFront, make_front
+from repro.core.solutions import (
+    _MAX_SORT,
+    _MIN_SORT,
+    BitAwareFront,
+    Label,
+    ParetoFront,
+    make_front,
+)
 from repro.core.topology import FaninTree, TreeNode
+from repro.perf import PERF
 
 #: Placement cost callback: (tree node, vertex) -> cost (inf = forbidden).
 PlacementCostFn = Callable[[TreeNode, int], float]
@@ -192,6 +200,7 @@ class FaninTreeEmbedder:
         tree.validate()
         fronts: dict[int, dict[int, ParetoFront]] = {}
         root = tree.root
+        touched = 0
         for node in tree.postorder():
             if node.index == root.index:
                 continue
@@ -199,16 +208,17 @@ class FaninTreeEmbedder:
                 branch = self._compute_initial(node)
             else:
                 branch = self._join_tree(node, fronts)
-            fronts[node.index] = self._gen_dijkstra(node, branch)
+            node_fronts = self._gen_dijkstra(node, branch)
+            fronts[node.index] = node_fronts
+            # Accumulate the diagnostic during the walk: children fronts
+            # are dropped right below, so a post-hoc sum would only see
+            # the surviving (root-adjacent) fronts.  Every materialized
+            # front holds at least one label (creation and first insert
+            # are fused in the wavefront loop), so the count is the size.
+            touched += len(node_fronts)
             for child in node.children:
                 fronts.pop(child, None)  # children fronts no longer needed
         root_front, root_candidates = self._augment_root(root, fronts)
-        touched = sum(
-            1
-            for child_fronts in fronts.values()
-            for front in child_fronts.values()
-            if len(front)
-        )
         return EmbeddingResult(
             tree=tree,
             scheme=self.scheme,
@@ -243,7 +253,11 @@ class FaninTreeEmbedder:
     ) -> dict[int, list[Label]]:
         child_fronts = [fronts[child] for child in node.children]
         branch: dict[int, list[Label]] = {}
-        for vertex in self.graph.vertices():
+        # Only vertices reached by EVERY child can join; iterate the
+        # smallest child map (ascending, to keep the original vertex
+        # order) instead of the whole graph.
+        smallest = min(child_fronts, key=len)
+        for vertex in sorted(smallest):
             if self.graph.is_blocked(vertex):
                 continue
             p_ij = self.placement_cost(node, vertex)
@@ -268,59 +282,190 @@ class FaninTreeEmbedder:
         per_child: list[list[Label]],
         p_ij: float,
     ) -> list[Label]:
+        """Fold children fronts with intermediate Pareto pruning.
+
+        Partial combos are plain ``(cost, sort, key, bits, parts)`` tuples
+        pruned with the same staircase / partial-order rules the fronts
+        use — no probe :class:`Label` is ever allocated; real labels are
+        built only for the finalized survivors.
+        """
         scheme = self.scheme
         conn = self.options.connection_delay
         limit = self.options.max_cohabiting_children
+        extend = scheme.extend
+        combine = scheme.combine
+        sort_key = scheme.sort_key
 
-        # Partial combos: (cost, combined key, branching-bit count, labels).
-        combos: list[tuple[float, object, int, tuple[Label, ...]]] = [
-            (0.0, None, 0, ())
-        ]
-        for child_labels in per_child:
-            new_front = make_front(scheme)
-            new_combos: list[tuple[float, object, int, tuple[Label, ...]]] = []
-            for cost, key, bits, labels in combos:
-                for child in child_labels:
-                    child_bits = bits + (1 if child.branching else 0)
-                    if limit is not None and child_bits > limit:
-                        continue
-                    child_key = child.key
-                    if conn and not child.branching:
-                        child_key = scheme.extend(child_key, conn)
-                    merged = child_key if key is None else scheme.combine(key, child_key)
-                    new_cost = cost + child.cost
-                    probe = Label(
-                        cost=new_cost,
-                        key=merged,
-                        sort=scheme.sort_key(merged),
-                        vertex=vertex,
-                        node=node.index,
-                        branching=True,
-                        parts=labels + (child,),
-                    )
-                    if new_front.insert(probe):
-                        new_combos.append((new_cost, merged, child_bits, probe.parts))
-            # Keep only combos that survived pruning (front order).
-            combos = [
-                (label.cost, label.key, self._bits(label.parts), label.parts)
-                for label in new_front
+        fast = type(scheme) is MaxArrivalScheme
+        if fast:
+            # Float specialization: extend is +, combine is max, the sort
+            # key mirrors the delay key — so the staircase collapses to
+            # two parallel float lists (costs ascending, keys strictly
+            # descending) and every bisect compares raw floats.
+            f_combos: list[tuple[float, float | None, int, tuple[Label, ...]]] = [
+                (0.0, None, 0, ())
             ]
+            for child_labels in per_child:
+                f_costs: list[float] = []
+                f_keys: list[float] = []
+                f_data: list[tuple[int, tuple[Label, ...]]] = []
+                for cost, key, bits, parts in f_combos:
+                    for child in child_labels:
+                        child_bits = bits + (1 if child.branching else 0)
+                        if limit is not None and child_bits > limit:
+                            continue
+                        child_key = child.key
+                        if conn and not child.branching:
+                            child_key = child_key + conn
+                        if key is None or child_key > key:
+                            merged = child_key
+                        else:
+                            merged = key
+                        new_cost = cost + child.cost
+                        index = bisect_right(f_costs, new_cost) - 1
+                        if index >= 0 and f_keys[index] <= merged:
+                            continue  # dominated
+                        start = bisect_left(f_costs, new_cost)
+                        end = start
+                        while end < len(f_costs) and f_keys[end] >= merged:
+                            end += 1
+                        del f_costs[start:end]
+                        del f_keys[start:end]
+                        del f_data[start:end]
+                        f_costs.insert(start, new_cost)
+                        f_keys.insert(start, merged)
+                        f_data.insert(start, (child_bits, parts + (child,)))
+                f_combos = [
+                    (f_costs[i], f_keys[i], f_data[i][0], f_data[i][1])
+                    for i in range(len(f_costs))
+                ]
+            results: list[Label] = []
+            delay_bound = self.options.delay_bound
+            node_index = node.index
+            gate_delay = node.gate_delay
+            for cost, key, _bits, parts in f_combos:
+                assert key is not None
+                final = key + gate_delay
+                if final > delay_bound:
+                    continue
+                results.append(
+                    Label(
+                        cost + p_ij,
+                        final,
+                        (final,),
+                        vertex,
+                        node_index,
+                        True,
+                        parts=parts,
+                    )
+                )
+            return results
+
+        combos: list[tuple[float, SortKey | None, object, int, tuple[Label, ...]]] = [
+            (0.0, None, None, 0, ())
+        ]
+        if scheme.total_order:
+            for child_labels in per_child:
+                # StaircaseFront.insert inlined over parallel lists:
+                # stair_keys holds the bisectable (cost, sort) staircase,
+                # stair_data the (key, bits, parts) payloads.
+                stair_keys: list[tuple[float, SortKey]] = []
+                stair_data: list[tuple[object, int, tuple[Label, ...]]] = []
+                for cost, _sort, key, bits, parts in combos:
+                    for child in child_labels:
+                        child_bits = bits + (1 if child.branching else 0)
+                        if limit is not None and child_bits > limit:
+                            continue
+                        child_key = child.key
+                        if conn and not child.branching:
+                            child_key = extend(child_key, conn)
+                        merged = (
+                            child_key if key is None else combine(key, child_key)
+                        )
+                        new_sort = sort_key(merged)
+                        new_cost = cost + child.cost
+                        index = bisect_right(stair_keys, (new_cost, _MAX_SORT)) - 1
+                        if index >= 0 and stair_keys[index][1] <= new_sort:
+                            continue  # dominated
+                        start = bisect_left(stair_keys, (new_cost, _MIN_SORT))
+                        end = start
+                        while (
+                            end < len(stair_keys) and stair_keys[end][1] >= new_sort
+                        ):
+                            end += 1
+                        del stair_keys[start:end]
+                        del stair_data[start:end]
+                        pos = bisect_left(stair_keys, (new_cost, new_sort))
+                        stair_keys.insert(pos, (new_cost, new_sort))
+                        stair_data.insert(
+                            pos, (merged, child_bits, parts + (child,))
+                        )
+                combos = [
+                    (entry[0], entry[1], datum[0], datum[1], datum[2])
+                    for entry, datum in zip(stair_keys, stair_data)
+                ]
+        else:
+            dominates = scheme.dominates
+            for child_labels in per_child:
+                entries: list[
+                    tuple[float, SortKey, object, int, tuple[Label, ...]]
+                ] = []
+                for cost, _sort, key, bits, parts in combos:
+                    for child in child_labels:
+                        child_bits = bits + (1 if child.branching else 0)
+                        if limit is not None and child_bits > limit:
+                            continue
+                        child_key = child.key
+                        if conn and not child.branching:
+                            child_key = extend(child_key, conn)
+                        merged = (
+                            child_key if key is None else combine(key, child_key)
+                        )
+                        new_cost = cost + child.cost
+                        dominated = False
+                        for kept in entries:
+                            if kept[0] <= new_cost and dominates(kept[2], merged):
+                                dominated = True
+                                break
+                        if dominated:
+                            continue
+                        entries = [
+                            kept
+                            for kept in entries
+                            if not (
+                                new_cost <= kept[0] and dominates(merged, kept[2])
+                            )
+                        ]
+                        entries.append(
+                            (
+                                new_cost,
+                                sort_key(merged),
+                                merged,
+                                child_bits,
+                                parts + (child,),
+                            )
+                        )
+                entries.sort(key=lambda entry: (entry[0], entry[1]))
+                combos = entries
+
         results: list[Label] = []
-        for cost, key, _bits, labels in combos:
+        delay_bound = self.options.delay_bound
+        primary = scheme.primary
+        node_index = node.index
+        for cost, _sort, key, _bits, parts in combos:
             assert key is not None
             final = scheme.finalize(key, node.gate_delay)
-            sort = scheme.sort_key(final)
-            if scheme.primary(final) > self.options.delay_bound:
+            if primary(final) > delay_bound:
                 continue
             results.append(
                 Label(
-                    cost=cost + p_ij,
-                    key=final,
-                    sort=sort,
-                    vertex=vertex,
-                    node=node.index,
-                    branching=True,
-                    parts=labels,
+                    cost + p_ij,
+                    final,
+                    sort_key(final),
+                    vertex,
+                    node_index,
+                    True,
+                    parts=parts,
                 )
             )
         return results
@@ -345,43 +490,208 @@ class FaninTreeEmbedder:
         self, node: TreeNode, branch: dict[int, list[Label]]
     ) -> dict[int, ParetoFront]:
         scheme = self.scheme
-        fronts: dict[int, ParetoFront] = {}
-        counter = itertools.count()
-        heap: list[tuple[float, SortKey, int, Label]] = []
-        for labels in branch.values():
-            for label in labels:
-                heapq.heappush(heap, (label.cost, label.sort, next(counter), label))
+        extend = scheme.extend
+        sort_key = scheme.sort_key
+        primary = scheme.primary
+        indptr, targets, wire_costs, wire_delays = self.graph.csr()
+        node_index = node.index
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
+        fronts: dict[int, BitAwareFront] = {}
+        tick = 0
         cap = self.options.max_labels_per_vertex
         bound = self.options.delay_bound
+        perf = PERF if PERF.enabled else None
+        fast = type(scheme) is MaxArrivalScheme
+        heap: list = []
+        for labels in branch.values():
+            for label in labels:
+                # Fast path orders the heap by the raw key float — for the
+                # 1-tuple sort keys of MaxArrivalScheme the ordering is
+                # identical and every sift compares floats, not tuples.
+                heap.append(
+                    (label.cost, label.key if fast else label.sort, tick, label)
+                )
+                tick += 1
+        heapq.heapify(heap)
+
+        pushed = len(heap)
+        popped = pruned = 0
+        if fast:
+            # Specialized loop for the default float scheme: extend is a
+            # float add, sort_key a 1-tuple, primary the identity — the
+            # inlined arithmetic and dominance scans drop three method
+            # calls per edge on the hottest loop in the DP.  Exact-type
+            # check so subclass overrides still take the generic path.
+            conn = self.options.connection_delay
+            overlap = self.options.max_cohabiting_children is not None
+            while heap:
+                cost, _sort, _tick, label = heappop(heap)
+                popped += 1
+                vertex = label.vertex
+                branching = label.branching
+                front = fronts.get(vertex)
+                if front is None:
+                    # First label at a vertex is never dominated: fuse
+                    # front creation with its first (always-accepted)
+                    # insert.
+                    front = fronts[vertex] = self._vertex_front()
+                    if branching or not conn:
+                        dom_sort, dom_key = label.sort, label.key
+                    else:
+                        dom_sort = label._dom_sort
+                        if dom_sort is None:
+                            dom_key = label.key + conn
+                            dom_sort = (dom_key,)
+                            label._dom_sort = dom_sort
+                            label._dom_key = dom_key
+                        else:
+                            dom_key = label._dom_key
+                    (front._b if branching else front._nb).append(
+                        (cost, dom_sort, dom_key, label)
+                    )
+                else:
+                    # BitAwareFront.is_dominated + insert + the cap check,
+                    # fused into one pass over the buckets.
+                    nb = front._nb
+                    b = front._b
+                    sort = label.sort
+                    if branching or not conn:
+                        dom_sort, dom_key = sort, label.key
+                    else:
+                        dom_sort = label._dom_sort
+                        if dom_sort is None:
+                            dom_key = label.key + conn
+                            dom_sort = (dom_key,)
+                            label._dom_sort = dom_sort
+                            label._dom_key = dom_key
+                        else:
+                            dom_key = label._dom_key
+                    # All dominance sorts are 1-tuples of the float at
+                    # entry index 2 here, so every tuple comparison in
+                    # the scans collapses to a float comparison.
+                    label_key = label.key
+                    beaten = False
+                    if branching:
+                        for c, _s, k, _l in b:
+                            if c <= cost and k <= label_key:
+                                beaten = True
+                                break
+                        if not beaten:
+                            for c, _s, k, _l in nb:
+                                if c <= cost and k <= label_key:
+                                    beaten = True
+                                    break
+                    else:
+                        for c, _s, k, _l in nb:
+                            if c <= cost and k <= dom_key:
+                                beaten = True
+                                break
+                        if not beaten and not overlap:
+                            for c, _s, k, _l in b:
+                                if c <= cost and k <= label_key:
+                                    beaten = True
+                                    break
+                    if beaten:
+                        continue
+                    if cap and len(nb) + len(b) >= cap and cost >= front.max_cost():
+                        continue
+                    bucket = b if branching else nb
+                    bucket[:] = [
+                        entry
+                        for entry in bucket
+                        if not (cost <= entry[0] and dom_key <= entry[2])
+                    ]
+                    bucket.append((cost, dom_sort, dom_key, label))
+                label_key = label.key
+                for index in range(indptr[vertex], indptr[vertex + 1]):
+                    key = label_key + wire_delays[index]
+                    if key > bound:
+                        continue
+                    target = targets[index]
+                    new_cost = cost + wire_costs[index]
+                    target_front = fronts.get(target)
+                    if target_front is None:
+                        successor = Label(
+                            new_cost, key, (key,), target, node_index, False, label
+                        )
+                    else:
+                        # dominated_extension, inlined for float keys.
+                        dom_key = key + conn if conn else key
+                        beaten = False
+                        for c, _s, k, _l in target_front._nb:
+                            if c <= new_cost and k <= dom_key:
+                                beaten = True
+                                break
+                        if not beaten and not overlap:
+                            for c, _s, k, _l in target_front._b:
+                                if c <= new_cost and k <= key:
+                                    beaten = True
+                                    break
+                        if beaten:
+                            pruned += 1
+                            continue
+                        successor = Label(
+                            new_cost, key, (key,), target, node_index, False, label
+                        )
+                        successor._dom_sort = (dom_key,)
+                        successor._dom_key = dom_key
+                    heappush(heap, (new_cost, key, tick, successor))
+                    tick += 1
+                    pushed += 1
+            if perf is not None:
+                perf.add("embedder.labels_pushed", pushed)
+                perf.add("embedder.labels_popped", popped)
+                perf.add("embedder.labels_pruned", pruned)
+            return fronts
         while heap:
-            _cost, _sort, _tick, label = heapq.heappop(heap)
-            front = fronts.setdefault(label.vertex, self._vertex_front())
-            if cap and len(front) >= cap and not front.is_dominated(label):
+            cost, _sort, _tick, label = heappop(heap)
+            popped += 1
+            vertex = label.vertex
+            front = fronts.get(vertex)
+            if front is None:
+                front = fronts[vertex] = self._vertex_front()
+                front.insert_undominated(label)  # empty front: always admitted
+            else:
+                if front.is_dominated(label):
+                    continue
                 # Front full: admit only labels cheaper than the tail.
-                if label.cost >= front.labels()[-1].cost:
+                if cap and len(front) >= cap and cost >= front.max_cost():
                     continue
-            if not front.insert(label):
-                continue
-            for edge in self.graph.edges_from(label.vertex):
-                key = scheme.extend(label.key, edge.wire_delay)
-                if scheme.primary(key) > bound:
+                front.insert_undominated(label)
+            label_key = label.key
+            for index in range(indptr[vertex], indptr[vertex + 1]):
+                key = extend(label_key, wire_delays[index])
+                if primary(key) > bound:
                     continue
+                target = targets[index]
+                new_cost = cost + wire_costs[index]
+                new_sort = sort_key(key)
+                target_front = fronts.get(target)
+                if target_front is not None:
+                    # Dominance verdict BEFORE construction: dominated
+                    # successors never allocate a Label.
+                    admitted = target_front.dominated_extension(
+                        new_cost, new_sort, key
+                    )
+                    if admitted is None:
+                        pruned += 1
+                        continue
+                else:
+                    admitted = None
                 successor = Label(
-                    cost=label.cost + edge.wire_cost,
-                    key=key,
-                    sort=scheme.sort_key(key),
-                    vertex=edge.target,
-                    node=node.index,
-                    branching=False,
-                    pred=label,
+                    new_cost, key, new_sort, target, node_index, False, label
                 )
-                target_front = fronts.get(edge.target)
-                if target_front is not None and target_front.is_dominated(successor):
-                    continue
-                heapq.heappush(
-                    heap, (successor.cost, successor.sort, next(counter), successor)
-                )
+                if admitted is not None:
+                    successor._dom_sort, successor._dom_key = admitted
+                heappush(heap, (new_cost, new_sort, tick, successor))
+                tick += 1
+                pushed += 1
+        if perf is not None:
+            perf.add("embedder.labels_pushed", pushed)
+            perf.add("embedder.labels_popped", popped)
+            perf.add("embedder.labels_pruned", pruned)
         return fronts
 
     # ------------------------------------------------------------------

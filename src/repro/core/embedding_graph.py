@@ -41,6 +41,7 @@ class EmbeddingGraph:
         self._adjacency: list[list[Edge]] = []
         self._base_cost: list[float] = []
         self._position: list[Slot | None] = []
+        self._csr: tuple[list[int], list[int], list[float], list[float]] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -51,6 +52,7 @@ class EmbeddingGraph:
         self._adjacency.append([])
         self._base_cost.append(base_cost)
         self._position.append(position)
+        self._csr = None
         return vertex
 
     def add_edge(
@@ -59,6 +61,7 @@ class EmbeddingGraph:
         self._adjacency[u].append(Edge(v, wire_cost, wire_delay))
         if both:
             self._adjacency[v].append(Edge(u, wire_cost, wire_delay))
+        self._csr = None
 
     def block_vertex(self, vertex: int) -> None:
         """Mark a vertex as unusable for gate placement."""
@@ -74,6 +77,31 @@ class EmbeddingGraph:
 
     def edges_from(self, vertex: int) -> list[Edge]:
         return self._adjacency[vertex]
+
+    def csr(self) -> tuple[list[int], list[int], list[float], list[float]]:
+        """Flat-array (CSR) adjacency: ``(indptr, targets, costs, delays)``.
+
+        Vertex ``v``'s out-edges occupy positions ``indptr[v]`` to
+        ``indptr[v + 1]``.  Built once and cached — the graph geometry is
+        fixed across the per-sink embeddings of a flow iteration — and
+        invalidated by :meth:`add_vertex` / :meth:`add_edge`.  Plain
+        Python lists deliberately: at these sizes list indexing beats the
+        boxing overhead of ``array``/numpy element access in the DP's
+        inner loop.
+        """
+        if self._csr is None:
+            indptr = [0]
+            targets: list[int] = []
+            costs: list[float] = []
+            delays: list[float] = []
+            for edges in self._adjacency:
+                for edge in edges:
+                    targets.append(edge.target)
+                    costs.append(edge.wire_cost)
+                    delays.append(edge.wire_delay)
+                indptr.append(len(targets))
+            self._csr = (indptr, targets, costs, delays)
+        return self._csr
 
     def base_cost(self, vertex: int) -> float:
         return self._base_cost[vertex]

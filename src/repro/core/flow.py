@@ -19,6 +19,7 @@ VI:
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.config import ReplicationConfig
@@ -34,9 +35,11 @@ from repro.core.solutions import Label
 from repro.core.unification import postprocess_unification
 from repro.netlist.equivalence import EquivalenceIndex
 from repro.netlist.netlist import Netlist
+from repro.perf import PERF
 from repro.place.legalizer import TimingDrivenLegalizer
 from repro.place.placement import Placement
 from repro.timing.bounds import delay_lower_bound
+from repro.timing.incremental import IncrementalSTA
 from repro.timing.spt import build_spt
 from repro.timing.sta import Endpoint, analyze
 
@@ -101,6 +104,85 @@ class OptimizationResult:
         return self.history[-1].unified_cum if self.history else 0
 
 
+def _embed_for_sink(
+    netlist: Netlist,
+    placement: Placement,
+    graph: GridEmbeddingGraph,
+    config: ReplicationConfig,
+    sink: Endpoint,
+    eps: float,
+    analysis=None,
+) -> tuple[ReplicationTreeInfo, dict[int, int]] | None:
+    """Embed one sink's replication tree; strictly read-only.
+
+    The shared kernel of batched embedding: the serial loop and the
+    worker processes both run exactly this function, which is what makes
+    ``jobs=1`` and ``jobs=N`` bit-identical.  Returns the tree info plus
+    the chosen flat node->vertex placement, or ``None`` when the sink has
+    no useful embedding.  FF relocation is never batched, so the root is
+    always fixed here.
+    """
+    if analysis is None:
+        analysis = analyze(netlist, placement)
+    current_delay = analysis.critical_delay
+    spt = build_spt(netlist, analysis, sink)
+    info = build_replication_tree(
+        netlist, placement, graph, analysis, spt, eps, config, movable_root=False
+    )
+    if info is None or info.num_movable == 0:
+        return None
+    model = placement.arch.delay_model
+    cost_fn = make_placement_cost(
+        netlist, placement, graph, config, info, analysis=analysis
+    )
+    options = EmbedderOptions(
+        connection_delay=model.connection_delay,
+        delay_bound=current_delay * (1.0 + config.delay_bound_slack),
+        max_labels_per_vertex=config.max_labels_per_vertex,
+        max_cohabiting_children=config.max_cohabiting_children,
+    )
+    embedder = FaninTreeEmbedder(
+        graph, scheme=config.scheme, placement_cost=cost_fn, options=options
+    )
+    result = embedder.embed(info.tree)
+    if not len(result.root_front):
+        return None
+    label = result.pick(delay_bound=delay_lower_bound(netlist, placement))
+    if label is None:
+        return None
+    return info, result.extract_placements(label)
+
+
+def _embed_sink_worker(payload):
+    """Process-pool entry: rebuild the embedding graph, embed one sink.
+
+    The payload carries pickled netlist/placement copies (listeners are
+    stripped by ``__getstate__``); the grid graph is rebuilt locally from
+    the architecture, which is cheaper than shipping its CSR arrays and
+    guarantees identical vertex numbering.  Perf counters accumulated in
+    the worker are returned as a delta so the parent can fold them into
+    its registry (workers inherit the fork-time counter state, hence the
+    before/after subtraction rather than a plain snapshot).
+    """
+    netlist, placement, config, sink, eps = payload
+    graph = GridEmbeddingGraph(
+        placement.arch,
+        wire_cost_per_unit=config.wire_cost_per_unit,
+        include_pads=True,
+    )
+    before = PERF.snapshot()["counters"] if PERF.enabled else None
+    out = _embed_for_sink(netlist, placement, graph, config, sink, eps)
+    delta = None
+    if before is not None:
+        after = PERF.snapshot()["counters"]
+        delta = {
+            name: count - before.get(name, 0)
+            for name, count in after.items()
+            if count != before.get(name, 0)
+        }
+    return out, delta
+
+
 class ReplicationOptimizer:
     """Placement-coupled replication engine over a placed netlist.
 
@@ -118,6 +200,8 @@ class ReplicationOptimizer:
         self.netlist = netlist
         self.placement = placement
         self.config = config if config is not None else ReplicationConfig()
+        self._sta: IncrementalSTA | None = None
+        self._pool: ProcessPoolExecutor | None = None
         self.graph = GridEmbeddingGraph(
             placement.arch,
             wire_cost_per_unit=self.config.wire_cost_per_unit,
@@ -130,7 +214,12 @@ class ReplicationOptimizer:
 
     def run(self) -> OptimizationResult:
         config = self.config
-        analysis = analyze(self.netlist, self.placement)
+        # One incremental STA engine serves the whole run: it tracks
+        # every replicate/rewire/unify/move through listener events and
+        # re-propagates only the affected cone at each analysis point.
+        sta = self._sta = IncrementalSTA(self.netlist, self.placement)
+        with PERF.timer("flow.sta"):
+            analysis = sta.analysis()
         initial_delay = analysis.critical_delay
         best_delay = initial_delay
         best_netlist = self.netlist.clone()
@@ -146,7 +235,8 @@ class ReplicationOptimizer:
         terminated_early = False
 
         for iteration in range(config.max_iterations):
-            analysis = analyze(self.netlist, self.placement)
+            with PERF.timer("flow.sta"):
+                analysis = sta.analysis()
             delay_before = analysis.critical_delay
             sink = analysis.critical_endpoint
             if sink is None:
@@ -160,49 +250,79 @@ class ReplicationOptimizer:
             )
 
             sink_arrival_before = analysis.endpoint_arrival.get(sink, 0.0)
-            spt = build_spt(self.netlist, analysis, sink)
             eps = epsilon.get(sink, 0.0)
-            info = build_replication_tree(
-                self.netlist,
-                self.placement,
-                self.graph,
-                analysis,
-                spt,
-                eps,
-                config,
-                movable_root=relocate_ff,
+            batch = (
+                self._select_sink_batch(analysis)
+                if config.batch_sinks > 1 and not relocate_ff
+                else [sink]
             )
 
             note = ""
             replicated = unified = 0
-            if info is None or info.num_movable == 0:
-                note = "trivial tree"
-            else:
-                snapshot_nl = self.netlist.clone()
-                snapshot_pl = self.placement.copy()
-                picked = self._embed_and_pick(info, analysis, delay_before, relocate_ff)
-                if picked is None:
+            if len(batch) > 1:
+                with PERF.timer("flow.embed"):
+                    payloads = self._embed_batch(batch, analysis, epsilon)
+                applied = [p for p in payloads if p is not None]
+                if not applied:
                     note = "no embedding"
                 else:
-                    embedding, label = picked
-                    replicated, unified = self._apply(info, embedding, label)
-                    # Intermediate degradation is tolerated (Section V-D
-                    # keeps the best snapshot for exactly this reason) —
-                    # legalization after a replication batch routinely
-                    # costs a little elsewhere before later iterations
-                    # win it back.  Only runaway steps are rolled back.
+                    snapshot_nl = self.netlist.clone()
+                    snapshot_pl = self.placement.copy()
                     limit = delay_before * (1.0 + config.degradation_allowance)
-                    degraded = (
-                        analyze(self.netlist, self.placement).critical_delay
-                        > limit + 1e-9
-                    )
-                    if degraded and not relocate_ff:
+                    with PERF.timer("flow.apply"):
+                        replicated, unified = self._apply_batch(applied, limit)
+                    with PERF.timer("flow.sta"):
+                        degraded = sta.analysis().critical_delay > limit + 1e-9
+                    if degraded:
                         _copy_netlist_into(snapshot_nl, self.netlist)
                         _copy_placement_into(snapshot_pl, self.placement)
                         replicated = unified = 0
                         note = "reverted"
+                    else:
+                        note = f"batch of {len(applied)}"
+            else:
+                spt = build_spt(self.netlist, analysis, sink)
+                info = build_replication_tree(
+                    self.netlist,
+                    self.placement,
+                    self.graph,
+                    analysis,
+                    spt,
+                    eps,
+                    config,
+                    movable_root=relocate_ff,
+                )
+                if info is None or info.num_movable == 0:
+                    note = "trivial tree"
+                else:
+                    snapshot_nl = self.netlist.clone()
+                    snapshot_pl = self.placement.copy()
+                    with PERF.timer("flow.embed"):
+                        picked = self._embed_and_pick(
+                            info, analysis, delay_before, relocate_ff
+                        )
+                    if picked is None:
+                        note = "no embedding"
+                    else:
+                        embedding, label = picked
+                        with PERF.timer("flow.apply"):
+                            replicated, unified = self._apply(info, embedding, label)
+                        # Intermediate degradation is tolerated (Section V-D
+                        # keeps the best snapshot for exactly this reason) —
+                        # legalization after a replication batch routinely
+                        # costs a little elsewhere before later iterations
+                        # win it back.  Only runaway steps are rolled back.
+                        limit = delay_before * (1.0 + config.degradation_allowance)
+                        with PERF.timer("flow.sta"):
+                            degraded = sta.analysis().critical_delay > limit + 1e-9
+                        if degraded and not relocate_ff:
+                            _copy_netlist_into(snapshot_nl, self.netlist)
+                            _copy_placement_into(snapshot_pl, self.placement)
+                            replicated = unified = 0
+                            note = "reverted"
 
-            analysis = analyze(self.netlist, self.placement)
+            with PERF.timer("flow.sta"):
+                analysis = sta.analysis()
             delay_after = analysis.critical_delay
             sink_arrival_after = analysis.endpoint_arrival.get(
                 sink, sink_arrival_before
@@ -254,6 +374,13 @@ class ReplicationOptimizer:
 
         # Hand back the best snapshot (Section V-D: "we save the best
         # solution seen ... so that we can always report the best").
+        # Detach the engine first: the optimizer's netlist/placement
+        # references are about to be swapped out from under it.
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        sta.detach()
+        self._sta = None
         self.netlist = best_netlist
         self.placement = best_placement
         return OptimizationResult(
@@ -351,47 +478,153 @@ class ReplicationOptimizer:
 
     def _apply(self, info: ReplicationTreeInfo, embedding, label: Label) -> tuple[int, int]:
         """Extract, unify and legalize; returns (replicated, unified)."""
-        config = self.config
         outcome = apply_embedding(
             self.netlist, self.placement, self.graph, info, embedding, label,
         )
+        unified = self._unify_and_legalize()
+        return len(outcome.replicated), len(outcome.swept) + unified
+
+    def _unify_and_legalize(self) -> int:
+        """Post-process unification + legalization; returns cells unified."""
+        config = self.config
         # Aggressive unification budgets each pin move against a single
         # STA's slacks; many moves can jointly overdraw (the wiring
         # overshoot Section VIII worries about).  Guard it: if the pass
         # degrades the critical delay, roll back and redo with strict
         # improvement-only moves (which can never degrade arrivals).
-        before_unify = analyze(self.netlist, self.placement).critical_delay
+        sta = self._sta
+        before_unify = sta.analysis().critical_delay
         if config.aggressive_unification:
             snapshot_nl = self.netlist.clone()
             snapshot_pl = self.placement.copy()
-            unify = postprocess_unification(self.netlist, self.placement, aggressive=True)
-            if (
-                analyze(self.netlist, self.placement).critical_delay
-                > before_unify + 1e-9
-            ):
+            unify = postprocess_unification(
+                self.netlist, self.placement, aggressive=True, sta=sta
+            )
+            if sta.analysis().critical_delay > before_unify + 1e-9:
                 _copy_netlist_into(snapshot_nl, self.netlist)
                 _copy_placement_into(snapshot_pl, self.placement)
                 unify = postprocess_unification(
-                    self.netlist, self.placement, aggressive=False
+                    self.netlist, self.placement, aggressive=False, sta=sta
                 )
         else:
             unify = postprocess_unification(
-                self.netlist, self.placement, aggressive=False
+                self.netlist, self.placement, aggressive=False, sta=sta
             )
         legalizer = TimingDrivenLegalizer(
             self.netlist,
             self.placement,
             alpha=config.legalizer_alpha,
+            sta=sta,
         )
-        legal = legalizer.legalize()
-        replicated = len(outcome.replicated)
-        unified = (
-            len(outcome.swept)
-            + len(unify.retired)
-            + len(unify.deleted)
-            + len(legal.unifications)
-        )
-        return replicated, unified
+        with PERF.timer("flow.legalize"):
+            legal = legalizer.legalize()
+        return len(unify.retired) + len(unify.deleted) + len(legal.unifications)
+
+    # ------------------------------------------------------------------
+    # Batched per-sink embedding (tied critical endpoints)
+    # ------------------------------------------------------------------
+
+    def _select_sink_batch(self, analysis) -> list[Endpoint]:
+        """End points tied at the critical delay, most critical first.
+
+        Ordering is ``(-arrival, endpoint)`` so the head of the batch is
+        exactly the endpoint :func:`critical_of` would report.
+        """
+        critical = analysis.critical_delay
+        arrivals = analysis.endpoint_arrival
+        tied = [ep for ep, arrival in arrivals.items() if arrival >= critical - 1e-9]
+        tied.sort(key=lambda ep: (-arrivals[ep], ep))
+        return tied[: self.config.batch_sinks]
+
+    def _embed_batch(self, batch, analysis, epsilon):
+        """Embed every batch sink against the same STA snapshot.
+
+        ``jobs`` decides who runs :func:`_embed_for_sink` — this process
+        or a pool worker on pickled copies — never what it computes, so
+        the returned list is identical for any job count.
+        """
+        config = self.config
+        eps_list = [epsilon.get(sink, 0.0) for sink in batch]
+        if config.jobs > 1:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=config.jobs)
+            futures = [
+                self._pool.submit(
+                    _embed_sink_worker,
+                    (self.netlist, self.placement, config, sink, eps),
+                )
+                for sink, eps in zip(batch, eps_list)
+            ]
+            results = []
+            for future in futures:
+                out, counter_delta = future.result()
+                results.append(out)
+                if counter_delta:
+                    PERF.merge_counts(counter_delta)
+            if PERF.enabled:
+                PERF.add("flow.parallel_sinks", len(batch))
+            return results
+        return [
+            _embed_for_sink(
+                self.netlist,
+                self.placement,
+                self.graph,
+                config,
+                sink,
+                eps,
+                analysis=analysis,
+            )
+            for sink, eps in zip(batch, eps_list)
+        ]
+
+    def _embedding_cells_alive(self, info: ReplicationTreeInfo) -> bool:
+        """Can this tree still be applied?  Earlier batch members may have
+        swept cells the tree references (shared cones)."""
+        cells = self.netlist.cells
+        if info.endpoint[0] not in cells:
+            return False
+        for cell_id in info.node_cell.values():
+            if cell_id not in cells:
+                return False
+        for cell_id in info.leaf_cell.values():
+            if cell_id not in cells or not self.placement.is_placed(cell_id):
+                return False
+        return True
+
+    def _apply_batch(self, applied, limit: float) -> tuple[int, int]:
+        """Merge batch embeddings in sink order; one unify/legalize pass.
+
+        Each sink's application is individually guarded: a member that
+        pushes the critical delay past ``limit`` is rolled back without
+        disturbing the members already merged.
+        """
+        sta = self._sta
+        replicated = 0
+        swept = 0
+        for info, placements in applied:
+            if not self._embedding_cells_alive(info):
+                continue
+            snapshot_nl = self.netlist.clone()
+            snapshot_pl = self.placement.copy()
+            outcome = apply_embedding(
+                self.netlist,
+                self.placement,
+                self.graph,
+                info,
+                None,
+                None,
+                placements=placements,
+            )
+            with PERF.timer("flow.sta"):
+                runaway = sta.analysis().critical_delay > limit + 1e-9
+            if runaway:
+                _copy_netlist_into(snapshot_nl, self.netlist)
+                _copy_placement_into(snapshot_pl, self.placement)
+                continue
+            replicated += len(outcome.replicated)
+            swept += len(outcome.swept)
+        unified = self._unify_and_legalize()
+        return replicated, swept + unified
 
 
 def optimize_replication(
@@ -418,9 +651,13 @@ def _copy_netlist_into(source: Netlist, target: Netlist) -> None:
     target._next_cell_id = clone._next_cell_id
     target._next_net_id = clone._next_net_id
     target._names = clone._names
+    # Rollbacks bypass the per-edit listener hooks, so any attached
+    # incremental STA must be told its whole world changed.
+    target.notify_bulk()
 
 
 def _copy_placement_into(source: Placement, target: Placement) -> None:
     copy = source.copy()
     target._slot_of = copy._slot_of
     target._cells_at = copy._cells_at
+    target.notify_bulk()

@@ -22,13 +22,21 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.core.signatures import DelayScheme, SortKey
 
+#: C-level (cost, dom_sort) ordering for front-entry sorts.
+_entry_order = itemgetter(0, 1)
 
-@dataclass(frozen=True)
+
 class Label:
     """One candidate embedding of a subtree.
+
+    A plain ``__slots__`` class rather than a dataclass: the wavefront
+    expansion allocates hundreds of thousands of labels per embedding,
+    and slot storage + a hand-written ``__init__`` measurably beats the
+    frozen-dataclass machinery on that path.
 
     Attributes:
         cost: Accumulated cost (wire + placement + children).
@@ -44,14 +52,43 @@ class Label:
         parts: For branching labels: the child labels joined (leaves: ()).
     """
 
-    cost: float
-    key: object
-    sort: SortKey
-    vertex: int
-    node: int
-    branching: bool
-    pred: "Label | None" = None
-    parts: tuple["Label", ...] = ()
+    __slots__ = (
+        "cost",
+        "key",
+        "sort",
+        "vertex",
+        "node",
+        "branching",
+        "pred",
+        "parts",
+        "_dom_sort",
+        "_dom_key",
+    )
+
+    def __init__(
+        self,
+        cost: float,
+        key: object,
+        sort: SortKey,
+        vertex: int,
+        node: int,
+        branching: bool,
+        pred: "Label | None" = None,
+        parts: tuple["Label", ...] = (),
+    ) -> None:
+        self.cost = cost
+        self.key = key
+        self.sort = sort
+        self.vertex = vertex
+        self.node = node
+        self.branching = branching
+        self.pred = pred
+        self.parts = parts
+        # Connection-charged dominance key, memoized by BitAwareFront
+        # (valid across fronts: one embedding run has one scheme and one
+        # connection delay).
+        self._dom_sort: SortKey | None = None
+        self._dom_key: object = None
 
     def branch_vertex(self) -> int:
         """The vertex where this label's subtree root is actually placed."""
@@ -60,6 +97,12 @@ class Label:
             assert label.pred is not None
             label = label.pred
         return label.vertex
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Label(cost={self.cost!r}, key={self.key!r}, vertex={self.vertex}, "
+            f"node={self.node}, branching={self.branching})"
+        )
 
 
 @dataclass
@@ -197,6 +240,8 @@ class BitAwareFront:
     schemes satisfy).
     """
 
+    __slots__ = ("_scheme", "_conn", "_overlap_control", "_total", "_nb", "_b")
+
     def __init__(
         self,
         scheme: DelayScheme,
@@ -206,28 +251,44 @@ class BitAwareFront:
         self._scheme = scheme
         self._conn = connection_delay
         self._overlap_control = overlap_control
-        #: entries[bit] = list of (cost, dom_sort, dom_key, label).
-        self._entries: dict[bool, list[tuple[float, SortKey, object, Label]]] = {
-            False: [],
-            True: [],
-        }
+        self._total = scheme.total_order
+        #: Entries are (cost, dom_sort, dom_key, label); one bucket per
+        #: branching bit (``_nb`` = extension labels, ``_b`` = branching).
+        self._nb: list[tuple[float, SortKey, object, Label]] = []
+        self._b: list[tuple[float, SortKey, object, Label]] = []
 
     def __len__(self) -> int:
-        return len(self._entries[False]) + len(self._entries[True])
+        return len(self._nb) + len(self._b)
 
     def __iter__(self):
-        merged = self._entries[False] + self._entries[True]
-        merged.sort(key=lambda entry: (entry[0], entry[1]))
-        return (entry[3] for entry in merged)
+        return iter(self.labels())
 
     def labels(self) -> list[Label]:
-        return list(iter(self))
+        merged = self._nb + self._b
+        merged.sort(key=_entry_order)
+        return [entry[3] for entry in merged]
 
-    def _dom_key(self, label: Label) -> tuple[SortKey, object]:
+    def max_cost(self) -> float:
+        """Largest entry cost (the cap check compares candidates to it)."""
+        worst = self._nb[0][0] if self._nb else self._b[0][0]
+        for entry in self._nb:
+            if entry[0] > worst:
+                worst = entry[0]
+        for entry in self._b:
+            if entry[0] > worst:
+                worst = entry[0]
+        return worst
+
+    def _dom(self, label: Label) -> tuple[SortKey, object]:
         if label.branching or not self._conn:
             return label.sort, label.key
-        key = self._scheme.extend(label.key, self._conn)
-        return self._scheme.sort_key(key), key
+        sort = label._dom_sort
+        if sort is None:
+            key = self._scheme.extend(label.key, self._conn)
+            sort = self._scheme.sort_key(key)
+            label._dom_sort = sort
+            label._dom_key = key
+        return sort, label._dom_key
 
     def _beaten_by(
         self,
@@ -236,37 +297,74 @@ class BitAwareFront:
         sort: SortKey,
         key: object,
     ) -> bool:
+        # Explicit loops: this is the single hottest test in the DP and
+        # generator expressions pay a per-call frame the loop does not.
+        if self._total:
+            for c, s, _k, _l in entries:
+                if c <= cost and s <= sort:
+                    return True
+            return False
         scheme = self._scheme
-        if scheme.total_order:
-            return any(c <= cost and s <= sort for c, s, _k, _l in entries)
-        return any(
-            c <= cost and scheme.dominates(k, key) for c, _s, k, _l in entries
-        )
+        for c, _s, k, _l in entries:
+            if c <= cost and scheme.dominates(k, key):
+                return True
+        return False
 
     def is_dominated(self, label: Label) -> bool:
-        dom_sort, dom_key = self._dom_key(label)
         if label.branching:
             # Same-bit check uses plain keys; cross-bit check compares the
             # stored charged keys of non-branching labels against our
             # plain key (i.e. "they beat us even after paying the charge").
             return self._beaten_by(
-                self._entries[True], label.cost, label.sort, label.key
-            ) or self._beaten_by(
-                self._entries[False], label.cost, label.sort, label.key
-            )
-        if self._beaten_by(self._entries[False], label.cost, dom_sort, dom_key):
+                self._b, label.cost, label.sort, label.key
+            ) or self._beaten_by(self._nb, label.cost, label.sort, label.key)
+        dom_sort, dom_key = self._dom(label)
+        if self._beaten_by(self._nb, label.cost, dom_sort, dom_key):
             return True
         if self._overlap_control:
             return False  # branching labels can never prune non-branching
-        return self._beaten_by(self._entries[True], label.cost, label.sort, label.key)
+        return self._beaten_by(self._b, label.cost, label.sort, label.key)
+
+    def dominated_extension(
+        self, cost: float, sort: SortKey, key: object
+    ) -> tuple[SortKey, object] | None:
+        """Dominance verdict for a *would-be* extension label.
+
+        Same verdict :meth:`is_dominated` would give a non-branching label
+        with this (cost, key) — checked before the label is ever built, so
+        dominated successors never allocate.  Returns ``None`` when
+        dominated, else the charged ``(dom_sort, dom_key)`` so the caller
+        can seed the new label's memo.
+        """
+        scheme = self._scheme
+        if self._conn:
+            dom_key = scheme.extend(key, self._conn)
+            dom_sort = scheme.sort_key(dom_key)
+        else:
+            dom_sort, dom_key = sort, key
+        if self._beaten_by(self._nb, cost, dom_sort, dom_key):
+            return None
+        if not self._overlap_control and self._beaten_by(self._b, cost, sort, key):
+            return None
+        return dom_sort, dom_key
 
     def insert(self, label: Label) -> bool:
         if self.is_dominated(label):
             return False
-        dom_sort, dom_key = self._dom_key(label)
+        self.insert_undominated(label)
+        return True
+
+    def insert_undominated(self, label: Label) -> None:
+        """Evict-and-append for a label already known non-dominated.
+
+        The wavefront pop path checks dominance once (for the cap logic)
+        and then admits through here, so the buckets are only scanned
+        once per pop instead of twice.
+        """
+        dom_sort, dom_key = self._dom(label)
         scheme = self._scheme
-        bucket = self._entries[label.branching]
-        if scheme.total_order:
+        bucket = self._b if label.branching else self._nb
+        if self._total:
             bucket[:] = [
                 entry
                 for entry in bucket
@@ -279,7 +377,6 @@ class BitAwareFront:
                 if not (label.cost <= entry[0] and scheme.dominates(dom_key, entry[2]))
             ]
         bucket.append((label.cost, dom_sort, dom_key, label))
-        return True
 
 
 #: Sentinels for bisecting (compare above/below any real sort key).

@@ -42,10 +42,17 @@ def postprocess_unification(
     placement: Placement,
     analysis: TimingAnalysis | None = None,
     aggressive: bool = True,
+    sta=None,
 ) -> UnificationResult:
-    """Run unification over every equivalence class with replicas."""
+    """Run unification over every equivalence class with replicas.
+
+    ``sta`` is an optional :class:`repro.timing.IncrementalSTA` already
+    tracking ``netlist``/``placement``; when given, the initial analysis
+    and every per-retirement verification become cone re-propagations
+    instead of from-scratch :func:`analyze` calls.
+    """
     if analysis is None:
-        analysis = analyze(netlist, placement)
+        analysis = sta.analysis() if sta is not None else analyze(netlist, placement)
     index = EquivalenceIndex(netlist)
     result = UnificationResult()
 
@@ -55,7 +62,9 @@ def postprocess_unification(
             continue
         _improvement_moves(netlist, analysis, members, result)
         if aggressive:
-            analysis = _retire_redundant(netlist, placement, analysis, members, result)
+            analysis = _retire_redundant(
+                netlist, placement, analysis, members, result, sta
+            )
 
     result.deleted = netlist.sweep_redundant()
     placement.prune_to(netlist)
@@ -100,6 +109,7 @@ def _retire_redundant(
     analysis: TimingAnalysis,
     members: list[int],
     result: UnificationResult,
+    sta=None,
 ) -> TimingAnalysis:
     """Retire replicas whose fanouts all fit elsewhere within slack.
 
@@ -150,7 +160,7 @@ def _retire_redundant(
             target = netlist.cells[target_id]
             assert target.output is not None
             netlist.move_sink(sink_pin, target.output)
-        verify = analyze(netlist, placement)
+        verify = sta.analysis() if sta is not None else analyze(netlist, placement)
         if verify.critical_delay > analysis.critical_delay + 1e-9:
             netlist.assign_from(snapshot)
             continue

@@ -49,6 +49,37 @@ class Netlist:
         self._next_cell_id = 0
         self._next_net_id = 0
         self._names: set[str] = set()
+        #: Edit listeners (e.g. the incremental STA).  Each exposes
+        #: ``nl_cell_added / nl_cell_deleted / nl_connected /
+        #: nl_disconnected / nl_bulk``.  Kept empty in normal use, so
+        #: every notification costs one truthiness test.
+        self._listeners: list = []
+
+    def __getstate__(self):
+        # Listeners (e.g. an attached incremental STA engine) are
+        # session-local observers, not netlist content: pickling for a
+        # worker process must not drag them along.
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
+
+    # ------------------------------------------------------------------
+    # Edit listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register an edit listener (see :mod:`repro.timing.incremental`)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def notify_bulk(self) -> None:
+        """Signal a wholesale content replacement (rollbacks, snapshots)."""
+        for listener in self._listeners:
+            listener.nl_bulk()
 
     # ------------------------------------------------------------------
     # Construction
@@ -80,6 +111,9 @@ class Netlist:
         self._next_cell_id += 1
         self.cells[cell.cell_id] = cell
         self._names.add(name)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.nl_cell_added(cell.cell_id)
         return cell
 
     def add_input(self, name: str) -> Cell:
@@ -136,6 +170,9 @@ class Netlist:
             raise NetlistError(f"pin {pin} of {sink.name!r} already connected")
         sink.inputs[pin] = net.net_id
         net.sinks.append((sink.cell_id, pin))
+        if self._listeners:
+            for listener in self._listeners:
+                listener.nl_connected(net.driver, sink.cell_id, pin)
 
     def disconnect_pin(self, sink_cell: Cell | int, pin: int) -> None:
         """Disconnect pin ``pin`` of ``sink_cell`` from whatever drives it."""
@@ -143,8 +180,12 @@ class Netlist:
         net_id = sink.inputs[pin]
         if net_id is None:
             raise NetlistError(f"pin {pin} of {sink.name!r} not connected")
-        self.nets[net_id].remove_sink((sink.cell_id, pin))
+        net = self.nets[net_id]
+        net.remove_sink((sink.cell_id, pin))
         sink.inputs[pin] = None
+        if self._listeners:
+            for listener in self._listeners:
+                listener.nl_disconnected(net.driver, sink.cell_id, pin)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -348,6 +389,9 @@ class Netlist:
             self._names.discard(net.name)
         del self.cells[cell.cell_id]
         self._names.discard(cell.name)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.nl_cell_deleted(cell.cell_id)
 
     def sweep_redundant(self, seeds: Iterable[int] | None = None) -> list[int]:
         """Recursively delete LUT/FF cells whose output drives nothing.
@@ -424,6 +468,7 @@ class Netlist:
         self._next_cell_id = clone._next_cell_id
         self._next_net_id = clone._next_net_id
         self._names = clone._names
+        self.notify_bulk()
 
     def __iter__(self) -> Iterator[Cell]:
         return iter(self.cells.values())

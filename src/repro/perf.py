@@ -1,0 +1,119 @@
+"""Lightweight perf observability: counters and phase timers.
+
+The replication flow's performance claims (the paper's "<5% of VPR
+place+route runtime", Section VII-A) should be measured, not asserted.
+This module provides a process-wide registry that the hot paths —
+embedder, incremental STA, legalizer, router, flow phases — report into:
+
+* **counters** — monotonically increasing event counts (labels pushed /
+  popped / pruned, STA nodes re-propagated vs. total, ripple moves);
+* **timers** — cumulative wall time per named phase, via the
+  :meth:`PerfRegistry.timer` context manager.
+
+The registry is *disabled by default* and every instrumentation point is
+guarded by a cheap truthiness test, so production runs pay one attribute
+load + branch per event.  Enable it explicitly::
+
+    from repro.perf import PERF
+    PERF.enable()
+    ... run the flow ...
+    print(json.dumps(PERF.snapshot(), indent=2))
+
+``python -m repro.bench.runner overhead --perf-json out.json`` and
+``scripts/bench_perf.py`` both enable the registry and dump the snapshot
+as JSON (see ``BENCH_perf.json`` for the committed trajectory).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class PerfRegistry:
+    """Process-wide counter/timer registry (single-threaded updates).
+
+    Worker threads/processes of the parallel embedder aggregate their
+    own counts and merge them back through :meth:`merge_counts`, so the
+    registry itself never needs locking on the hot path.
+    """
+
+    __slots__ = ("enabled", "_counters", "_timers")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: dict[str, int] = defaultdict(int)
+        self._timers: dict[str, float] = defaultdict(float)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+    # -- recording -----------------------------------------------------
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Bump a counter (call sites guard with ``if PERF.enabled``)."""
+        self._counters[name] += amount
+
+    def merge_counts(self, counts: dict[str, int]) -> None:
+        """Fold counts aggregated elsewhere (a worker) into the registry."""
+        for name, amount in counts.items():
+            self._counters[name] += amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self._timers[name] += seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the wall time of the ``with`` body under ``name``.
+
+        No-op (but still a valid context manager) when disabled.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._timers[name] += time.perf_counter() - start
+
+    # -- reporting -----------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready copy: ``{"counters": {...}, "timers": {...}}``."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {k: round(v, 6) for k, v in sorted(self._timers.items())},
+        }
+
+    def format(self) -> str:
+        """Human-readable report (the ``overhead`` experiment prints it)."""
+        lines = []
+        if self._timers:
+            lines.append("perf timers (cumulative seconds):")
+            width = max(len(k) for k in self._timers)
+            for name, seconds in sorted(self._timers.items()):
+                lines.append(f"  {name:<{width}}  {seconds:10.4f}")
+        if self._counters:
+            lines.append("perf counters:")
+            width = max(len(k) for k in self._counters)
+            for name, count in sorted(self._counters.items()):
+                lines.append(f"  {name:<{width}}  {count:>12}")
+        return "\n".join(lines) if lines else "perf registry: no events recorded"
+
+
+#: The process-wide registry instrumentation points report into.
+PERF = PerfRegistry()

@@ -50,20 +50,37 @@ class TimingDrivenLegalizer:
         alpha: float = 0.95,
         near_critical_fraction: float = 0.4,
         allow_unification: bool = True,
+        sta=None,
     ) -> None:
         self.netlist = netlist
         self.placement = placement
         self.alpha = alpha
         self.near_critical_fraction = near_critical_fraction
         self.allow_unification = allow_unification
+        #: Optional :class:`repro.timing.IncrementalSTA` already tracking
+        #: this netlist/placement; when present each overlap's STA is a
+        #: cone re-propagation instead of a from-scratch analyze().
+        self._sta = sta
         self._analysis: TimingAnalysis | None = None
         self._strict = True
+        # Per-analysis memoization: for a fixed analysis snapshot and a
+        # static placement of every *other* cell, both cost functions
+        # depend only on (cell, slot).  The gain-path DP re-scores the
+        # same pairs once per corridor (up to eight corridors per
+        # overlap), so the caches collapse most of the legalizer's work.
+        # They are cleared whenever a committed move changes the
+        # placement (a neighbour's slot is an implicit input).
+        self._cost_cache: dict[tuple[int, Slot], float] = {}
+        self._worst_cache: dict[tuple[int, Slot], float] = {}
 
     # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
 
     def _cell_cost(self, analysis: TimingAnalysis, cell_id: int, slot: Slot) -> float:
+        cached = self._cost_cache.get((cell_id, slot))
+        if cached is not None:
+            return cached
         original = self.placement.slot_of(cell_id)
         try:
             if slot != original:
@@ -77,7 +94,9 @@ class TimingDrivenLegalizer:
         finally:
             if slot != original:
                 self.placement.place(self.netlist.cells[cell_id], original)
-        return self.alpha * timing + (1.0 - self.alpha) * wire
+        cost = self.alpha * timing + (1.0 - self.alpha) * wire
+        self._cost_cache[(cell_id, slot)] = cost
+        return cost
 
     def _worst_path_through(self, analysis: TimingAnalysis, cell_id: int) -> float:
         """Slowest path through the cell at its *current placement slot*.
@@ -88,6 +107,9 @@ class TimingDrivenLegalizer:
         cell = self.netlist.cells[cell_id]
         model = self.placement.arch.delay_model
         slot = self.placement.slot_of(cell_id)
+        cached = self._worst_cache.get((cell_id, slot))
+        if cached is not None:
+            return cached
 
         if cell.is_timing_start:
             worst_in = model.launch_delay(cell.is_ff)
@@ -106,7 +128,9 @@ class TimingDrivenLegalizer:
                     worst_in, analysis.arrival[driver] + model.wire_delay(dist)
                 )
         if cell.is_timing_end and not cell.is_lut:
-            return worst_in + model.capture_delay(cell.is_ff)
+            worst = worst_in + model.capture_delay(cell.is_ff)
+            self._worst_cache[(cell_id, slot)] = worst
+            return worst
 
         at_output = worst_in + model.cell_delay(cell.is_lut)
         worst_down = 0.0
@@ -124,7 +148,9 @@ class TimingDrivenLegalizer:
                     analysis.critical_delay - req
                 )
             worst_down = max(worst_down, downstream)
-        return at_output + worst_down
+        worst = at_output + worst_down
+        self._worst_cache[(cell_id, slot)] = worst
+        return worst
 
     # ------------------------------------------------------------------
     # Free-slot search and gain paths
@@ -251,8 +277,13 @@ class TimingDrivenLegalizer:
             if not self.placement.free_logic_slots():
                 result.success = False
                 break
-            analysis = analyze(self.netlist, self.placement)
+            if self._sta is not None:
+                analysis = self._sta.analysis()
+            else:
+                analysis = analyze(self.netlist, self.placement)
             self._analysis = analysis
+            self._cost_cache.clear()
+            self._worst_cache.clear()
             targets = self._closest_free_per_quadrant(congested)
             self._strict = True
             scored = [
@@ -356,6 +387,8 @@ class TimingDrivenLegalizer:
         if best is None:
             return False
         _score, _distance, moves = best
+        self._cost_cache.clear()
+        self._worst_cache.clear()
         for cell_id, slot in moves:
             self.placement.place(self.netlist.cells[cell_id], slot)
             result.ripple_moves += 1
@@ -418,6 +451,10 @@ class TimingDrivenLegalizer:
             next_moving: int | None = None
             if self.placement.occupancy(slot) >= self.placement.arch.slot_capacity(slot):
                 next_moving = self._pick_occupant(slot)
+            # The committed move shifts a neighbour of everything it
+            # touches: both memo caches are stale from here on.
+            self._cost_cache.clear()
+            self._worst_cache.clear()
             self.placement.place(cell, slot)
             result.ripple_moves += 1
             if next_moving is None:

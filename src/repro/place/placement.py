@@ -29,6 +29,32 @@ class Placement:
         self.arch = arch
         self._slot_of: dict[int, Slot] = {}
         self._cells_at: dict[Slot, list[int]] = defaultdict(list)
+        #: Move listeners (e.g. the incremental STA); each exposes
+        #: ``pl_moved(cell_id)`` and ``pl_bulk()``.
+        self._listeners: list = []
+
+    def __getstate__(self):
+        # Listeners are session-local observers (see Netlist.__getstate__).
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
+
+    # ------------------------------------------------------------------
+    # Move listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def notify_bulk(self) -> None:
+        """Signal a wholesale content replacement (rollbacks, snapshots)."""
+        for listener in self._listeners:
+            listener.pl_bulk()
 
     # ------------------------------------------------------------------
     # Core operations
@@ -44,6 +70,9 @@ class Placement:
         self.unplace(cell.cell_id)
         self._slot_of[cell.cell_id] = slot
         self._cells_at[slot].append(cell.cell_id)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.pl_moved(cell.cell_id)
 
     def unplace(self, cell_id: int) -> None:
         """Remove a cell from the placement (no-op if unplaced)."""
@@ -52,6 +81,9 @@ class Placement:
             self._cells_at[slot].remove(cell_id)
             if not self._cells_at[slot]:
                 del self._cells_at[slot]
+            if self._listeners:
+                for listener in self._listeners:
+                    listener.pl_moved(cell_id)
 
     def slot_of(self, cell_id: int) -> Slot:
         """Slot of a placed cell; raises if unplaced."""

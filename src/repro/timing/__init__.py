@@ -10,11 +10,13 @@ from repro.timing.monotonicity import (
     nonmonotone_ratio,
     path_length,
 )
+from repro.timing.incremental import IncrementalSTA
 from repro.timing.spt import SlowestPathsTree, build_spt
 from repro.timing.sta import Endpoint, TimingAnalysis, analyze
 
 __all__ = [
     "Endpoint",
+    "IncrementalSTA",
     "SlowestPathsTree",
     "TimingAnalysis",
     "all_endpoint_paths_monotone",

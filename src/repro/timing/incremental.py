@@ -1,0 +1,483 @@
+"""Incremental static timing analysis.
+
+The replication flow re-runs STA after every netlist or placement edit —
+each replicate / rewire / unify step, every legalizer overlap, every
+retirement probe.  A full :func:`repro.timing.sta.analyze` pass rebuilds
+the topological order and re-propagates every cell; after a local edit
+almost all of that work recomputes unchanged values.
+
+:class:`IncrementalSTA` keeps the analysis state alive across edits.  It
+registers as an edit listener on the :class:`~repro.netlist.netlist.Netlist`
+and the :class:`~repro.place.placement.Placement`, accumulates dirty
+sets, and on :meth:`refresh` re-propagates only the affected cone:
+
+* **forward** — dirty cells are re-evaluated in cached topological order
+  (a position-keyed heap); propagation stops early wherever the
+  recomputed arrival is unchanged.
+* **endpoints** — only endpoints whose D/pad-pin driver arrival or wire
+  changed are re-evaluated; the critical endpoint is re-selected with the
+  canonical ``(value, -cid)`` tie-break.
+* **backward** — if the critical delay changed, every required time
+  changes with it, so the full (order-cached) backward pass of
+  :func:`repro.timing.sta.backward_pass` runs; otherwise required times
+  are pull-recomputed for the dirty drivers only, walking fanin-ward
+  while values change.
+
+**Bit-exactness.**  Every re-evaluation uses the exact expression shapes
+of :mod:`repro.timing.sta` (same operand order, same accumulation
+pattern), and arrival/required are pure max/min folds over per-edge
+terms, which are order-independent.  The result of :meth:`analysis` is
+therefore bit-identical to a fresh ``analyze()`` — the property test in
+``tests/timing/test_incremental.py`` drives randomized edit sequences
+against the oracle to keep it that way.
+
+The cached topological order survives placement moves and edge deletions
+untouched.  A new edge only invalidates it when it points *backward*
+against the cached positions (edges into timing-start cells are
+sequential boundaries and never constrain the order); wholesale
+replacements (``assign_from`` rollbacks, snapshot copies) trigger a full
+rebuild.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch.delay import LinearDelayModel
+from repro.netlist.netlist import Netlist
+from repro.perf import PERF
+from repro.place.placement import Placement
+from repro.timing.sta import (
+    Endpoint,
+    TimingAnalysis,
+    backward_pass,
+    critical_of,
+    forward_pass,
+)
+
+
+class IncrementalSTA:
+    """Event-driven STA engine bound to one netlist/placement pair."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        model: LinearDelayModel | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.placement = placement
+        self.model = model if model is not None else placement.arch.delay_model
+        self._order: list[int] = []
+        self._pos: dict[int, int] = {}
+        self._arrival: dict[int, float] = {}
+        self._arrival_pred: dict[int, Endpoint | None] = {}
+        self._endpoint_arrival: dict[Endpoint, float] = {}
+        self._critical_delay = 0.0
+        self._critical_endpoint: Endpoint | None = None
+        self._required: dict[int, float] = {}
+        self._required_strict: dict[int, float] = {}
+        # Dirty state accumulated between refreshes.
+        self._full = True
+        self._order_dirty = False
+        self._dirty_arrival: set[int] = set()
+        self._dirty_endpoints: set[int] = set()
+        self._dirty_required: set[int] = set()
+        self._moved: set[int] = set()
+        netlist.add_listener(self)
+        placement.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unregister from the netlist/placement (engine becomes inert)."""
+        self.netlist.remove_listener(self)
+        self.placement.remove_listener(self)
+
+    # ------------------------------------------------------------------
+    # Edit events
+    # ------------------------------------------------------------------
+
+    def nl_cell_added(self, cell_id: int) -> None:
+        if self._full:
+            return
+        # A fresh cell has no connections yet, so appending keeps the
+        # cached order topologically valid.
+        self._pos[cell_id] = len(self._order)
+        self._order.append(cell_id)
+        self._dirty_arrival.add(cell_id)
+        self._dirty_required.add(cell_id)
+
+    def nl_cell_deleted(self, cell_id: int) -> None:
+        if self._full:
+            return
+        # Removing a node never invalidates a topological order; the
+        # stale order entry is skipped at refresh.  Fanin bookkeeping
+        # was already handled by the per-pin disconnect events.
+        self._arrival.pop(cell_id, None)
+        self._arrival_pred.pop(cell_id, None)
+        self._endpoint_arrival.pop((cell_id, 0), None)
+        self._required.pop(cell_id, None)
+        self._required_strict.pop(cell_id, None)
+        self._dirty_arrival.discard(cell_id)
+        self._dirty_endpoints.discard(cell_id)
+        self._dirty_required.discard(cell_id)
+        self._moved.discard(cell_id)
+
+    def nl_connected(self, driver_id: int, sink_id: int, pin: int) -> None:
+        if self._full:
+            return
+        self._mark_sink(sink_id)
+        self._dirty_required.add(driver_id)
+        sink = self.netlist.cells.get(sink_id)
+        if sink is not None and not sink.is_timing_start:
+            # A combinational edge must respect the cached order.
+            pos = self._pos
+            if pos.get(driver_id, -1) >= pos.get(sink_id, -1):
+                self._order_dirty = True
+
+    def nl_disconnected(self, driver_id: int, sink_id: int, pin: int) -> None:
+        if self._full:
+            return
+        self._mark_sink(sink_id)
+        self._dirty_required.add(driver_id)
+
+    def nl_bulk(self) -> None:
+        self._full = True
+
+    def pl_moved(self, cell_id: int) -> None:
+        if self._full:
+            return
+        # Deferred: the affected cone is expanded from live connectivity
+        # at refresh time (the cell may move again, or be deleted, before
+        # the next analysis).
+        self._moved.add(cell_id)
+
+    def pl_bulk(self) -> None:
+        self._full = True
+
+    def _mark_sink(self, sink_id: int) -> None:
+        sink = self.netlist.cells.get(sink_id)
+        if sink is None:
+            return
+        if sink.is_lut:
+            self._dirty_arrival.add(sink_id)
+        if sink.is_timing_end:
+            self._dirty_endpoints.add(sink_id)
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Bring the cached analysis up to date with all pending edits."""
+        if self._full:
+            self._rebuild_full()
+            return
+        if not (
+            self._moved
+            or self._dirty_arrival
+            or self._dirty_endpoints
+            or self._dirty_required
+            or self._order_dirty
+        ):
+            return
+
+        netlist = self.netlist
+        placement = self.placement
+        model = self.model
+        cells = netlist.cells
+        nets = netlist.nets
+        arch = placement.arch
+        slot_of = placement.slot_of
+        arrival = self._arrival
+
+        # Expand deferred placement moves against live connectivity.
+        for cid in self._moved:
+            cell = cells.get(cid)
+            if cell is None or not placement.is_placed(cid):
+                continue
+            if cell.is_lut or cell.is_timing_start:
+                self._dirty_arrival.add(cid)
+            if cell.is_timing_end:
+                self._dirty_endpoints.add(cid)
+            self._dirty_required.add(cid)
+            for net_id in cell.inputs:
+                if net_id is not None:
+                    driver = nets[net_id].driver
+                    if driver is not None:
+                        self._dirty_required.add(driver)
+            if cell.output is not None:
+                for sink_id, _pin in nets[cell.output].sinks:
+                    self._mark_sink(sink_id)
+        self._moved.clear()
+
+        if self._order_dirty:
+            # A backward edge appeared: rebuild the order (Kahn), but the
+            # forward/backward propagation below still covers only the
+            # dirty cone.
+            self._order = netlist.combinational_order()
+            self._pos = {cid: pos for pos, cid in enumerate(self._order)}
+            self._order_dirty = False
+
+        # ---- forward: re-evaluate dirty cells in topological order ----
+        pos = self._pos
+        heap = [
+            (pos[cid], cid) for cid in self._dirty_arrival if cid in cells
+        ]
+        heapq.heapify(heap)
+        queued = {cid for _p, cid in heap}
+        self._dirty_arrival.clear()
+        repropagated = 0
+        while heap:
+            _p, cid = heapq.heappop(heap)
+            queued.discard(cid)
+            cell = cells.get(cid)
+            if cell is None:
+                continue
+            repropagated += 1
+            if cell.is_timing_start:
+                new = model.launch_delay(cell.is_ff)
+                new_pred: Endpoint | None = None
+            elif cell.is_lut:
+                # Same expression shapes as sta.forward_pass.
+                best = 0.0
+                best_pred: Endpoint | None = None
+                for pin, net_id in enumerate(cell.inputs):
+                    if net_id is None:
+                        continue
+                    driver = nets[net_id].driver
+                    assert driver is not None
+                    dist = arch.distance(slot_of(driver), slot_of(cid))
+                    at = arrival[driver] + model.wire_delay(dist)
+                    if best_pred is None or at > best:
+                        best = at
+                        best_pred = (driver, pin)
+                new = best + model.cell_delay(True)
+                new_pred = best_pred
+            else:
+                continue  # OUTPUT pads carry no arrival
+            old = arrival.get(cid)
+            self._arrival_pred[cid] = new_pred
+            if old is not None and new == old:
+                continue  # early cutoff: downstream cone unaffected
+            arrival[cid] = new
+            if cid not in self._required:
+                self._required[cid] = float("inf")
+                self._required_strict[cid] = float("inf")
+            if cell.output is not None:
+                for sink_id, _pin in nets[cell.output].sinks:
+                    sink = cells[sink_id]
+                    if sink.is_lut:
+                        if sink_id not in queued:
+                            heapq.heappush(heap, (pos[sink_id], sink_id))
+                            queued.add(sink_id)
+                    if sink.is_timing_end:
+                        self._dirty_endpoints.add(sink_id)
+
+        # ---- endpoints -------------------------------------------------
+        endpoint_changed: set[int] = set()
+        for cid in self._dirty_endpoints:
+            cell = cells.get(cid)
+            key = (cid, 0)
+            if cell is None or not cell.is_timing_end or not cell.inputs:
+                if self._endpoint_arrival.pop(key, None) is not None:
+                    endpoint_changed.add(cid)
+                continue
+            net_id = cell.inputs[0]
+            if net_id is None:
+                if self._endpoint_arrival.pop(key, None) is not None:
+                    endpoint_changed.add(cid)
+                continue
+            driver = nets[net_id].driver
+            assert driver is not None
+            dist = arch.distance(slot_of(driver), slot_of(cid))
+            value = (
+                arrival[driver]
+                + model.wire_delay(dist)
+                + model.capture_delay(cell.is_ff)
+            )
+            if self._endpoint_arrival.get(key) != value:
+                self._endpoint_arrival[key] = value
+                endpoint_changed.add(cid)
+        self._dirty_endpoints.clear()
+
+        critical_endpoint, critical_delay = critical_of(self._endpoint_arrival)
+
+        # ---- backward --------------------------------------------------
+        if critical_delay != self._critical_delay:
+            # Every endpoint seed shifts with the clock target: the full
+            # (order-cached) backward pass is both exact and cheaper than
+            # chasing a dirty set that would cover nearly everything.
+            self._required, self._required_strict = backward_pass(
+                netlist,
+                placement,
+                model,
+                [cid for cid in self._order if cid in cells],
+                arrival,
+                self._endpoint_arrival,
+                critical_delay,
+            )
+            self._dirty_required.clear()
+        else:
+            for cid in endpoint_changed:
+                # Strict seeds track each endpoint's own arrival.
+                cell = cells.get(cid)
+                if cell is None or not cell.inputs:
+                    continue
+                net_id = cell.inputs[0]
+                if net_id is not None:
+                    driver = nets[net_id].driver
+                    if driver is not None:
+                        self._dirty_required.add(driver)
+            self._backward_incremental(critical_delay)
+        self._critical_delay = critical_delay
+        self._critical_endpoint = critical_endpoint
+
+        if PERF.enabled:
+            PERF.add("sta.refreshes")
+            PERF.add("sta.nodes_repropagated", repropagated)
+            PERF.add("sta.nodes_total", len(cells))
+
+    def _backward_incremental(self, critical_delay: float) -> None:
+        """Pull-recompute required times for the dirty drivers only."""
+        netlist = self.netlist
+        placement = self.placement
+        model = self.model
+        cells = netlist.cells
+        nets = netlist.nets
+        arch = placement.arch
+        slot_of = placement.slot_of
+        required = self._required
+        required_strict = self._required_strict
+        pos = self._pos
+        inf = float("inf")
+
+        # Max-heap on topological position: consumers first.
+        heap = [
+            (-pos[cid], cid)
+            for cid in self._dirty_required
+            if cid in cells and cid in required
+        ]
+        heapq.heapify(heap)
+        queued = {cid for _p, cid in heap}
+        self._dirty_required.clear()
+        while heap:
+            _p, cid = heapq.heappop(heap)
+            queued.discard(cid)
+            cell = cells.get(cid)
+            if cell is None or cell.output is None:
+                continue
+            req = inf
+            strict = inf
+            for sink_id, sink_pin in nets[cell.output].sinks:
+                sink = cells[sink_id]
+                if sink.is_lut:
+                    # Same shapes as sta.backward_pass's LUT propagation.
+                    req_at_inputs = required[sink_id] - model.cell_delay(True)
+                    strict_at_inputs = required_strict[sink_id] - model.cell_delay(
+                        True
+                    )
+                    dist = arch.distance(slot_of(cid), slot_of(sink_id))
+                    wire = model.wire_delay(dist)
+                    contrib = req_at_inputs - wire
+                    if contrib < req:
+                        req = contrib
+                    contrib = strict_at_inputs - wire
+                    if contrib < strict:
+                        strict = contrib
+                elif sink.is_timing_end and sink_pin == 0:
+                    # Same shapes as sta.backward_pass's endpoint seeds.
+                    dist = arch.distance(slot_of(cid), slot_of(sink_id))
+                    wire_and_capture = model.capture_delay(
+                        sink.is_ff
+                    ) + model.wire_delay(dist)
+                    contrib = critical_delay - wire_and_capture
+                    if contrib < req:
+                        req = contrib
+                    contrib = (
+                        self._endpoint_arrival.get((sink_id, 0), critical_delay)
+                        - wire_and_capture
+                    )
+                    if contrib < strict:
+                        strict = contrib
+            if required[cid] == req and required_strict[cid] == strict:
+                continue
+            required[cid] = req
+            required_strict[cid] = strict
+            if cell.is_lut:
+                # Only LUTs propagate required times to their fanins.
+                for net_id in cell.inputs:
+                    if net_id is None:
+                        continue
+                    driver = nets[net_id].driver
+                    if (
+                        driver is not None
+                        and driver not in queued
+                        and driver in required
+                    ):
+                        heapq.heappush(heap, (-pos[driver], driver))
+                        queued.add(driver)
+
+    def _rebuild_full(self) -> None:
+        netlist = self.netlist
+        self._order = netlist.combinational_order()
+        self._pos = {cid: pos for pos, cid in enumerate(self._order)}
+        arrival, arrival_pred, endpoint_arrival = forward_pass(
+            netlist, self.placement, self.model, self._order
+        )
+        critical_endpoint, critical_delay = critical_of(endpoint_arrival)
+        required, required_strict = backward_pass(
+            netlist,
+            self.placement,
+            self.model,
+            self._order,
+            arrival,
+            endpoint_arrival,
+            critical_delay,
+        )
+        self._arrival = arrival
+        self._arrival_pred = arrival_pred
+        self._endpoint_arrival = endpoint_arrival
+        self._critical_delay = critical_delay
+        self._critical_endpoint = critical_endpoint
+        self._required = required
+        self._required_strict = required_strict
+        self._full = False
+        self._order_dirty = False
+        self._dirty_arrival.clear()
+        self._dirty_endpoints.clear()
+        self._dirty_required.clear()
+        self._moved.clear()
+        if PERF.enabled:
+            PERF.add("sta.full_rebuilds")
+            PERF.add("sta.refreshes")
+            PERF.add("sta.nodes_repropagated", len(self._order))
+            PERF.add("sta.nodes_total", len(self._order))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def analysis(self) -> TimingAnalysis:
+        """Refresh and return a :class:`TimingAnalysis` snapshot.
+
+        The dicts are copied so the snapshot stays frozen while the
+        engine keeps tracking further edits (flow code holds "before"
+        and "after" analyses side by side).
+        """
+        self.refresh()
+        return TimingAnalysis(
+            arrival=dict(self._arrival),
+            arrival_pred=dict(self._arrival_pred),
+            endpoint_arrival=dict(self._endpoint_arrival),
+            critical_delay=self._critical_delay,
+            critical_endpoint=self._critical_endpoint,
+            required=dict(self._required),
+            required_strict=dict(self._required_strict),
+            _netlist=self.netlist,
+            _placement=self.placement,
+            _model=self.model,
+        )

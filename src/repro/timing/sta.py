@@ -143,15 +143,19 @@ class TimingAnalysis:
         return path
 
 
-def analyze(
+def forward_pass(
     netlist: Netlist,
     placement: Placement,
-    arch: FpgaArch | None = None,
-) -> TimingAnalysis:
-    """Run STA; all cells referenced by the netlist must be placed."""
-    model = (arch.delay_model if arch is not None else placement.arch.delay_model)
-    order = netlist.combinational_order()
+    model: LinearDelayModel,
+    order: list[int],
+) -> tuple[dict[int, float], dict[int, Endpoint | None], dict[Endpoint, float]]:
+    """Arrival propagation over ``order``; shared with the incremental STA.
 
+    The incremental engine (:mod:`repro.timing.incremental`) re-evaluates
+    single cells with the exact same expression shapes, so results stay
+    bit-identical to a full pass — keep the arithmetic here and there in
+    sync.
+    """
     arrival: dict[int, float] = {}
     arrival_pred: dict[int, Endpoint | None] = {}
     endpoint_arrival: dict[Endpoint, float] = {}
@@ -198,25 +202,44 @@ def analyze(
                 + model.wire_delay(dist)
                 + model.capture_delay(cell.is_ff)
             )
+    return arrival, arrival_pred, endpoint_arrival
 
+
+def critical_of(endpoint_arrival: dict[Endpoint, float]) -> tuple[Endpoint | None, float]:
+    """Critical endpoint/delay with the canonical ``(value, -cid)`` tie-break."""
     if endpoint_arrival:
         critical_endpoint, critical_delay = max(
             endpoint_arrival.items(), key=lambda item: (item[1], -item[0][0])
         )
-    else:
-        critical_endpoint, critical_delay = None, 0.0
+        return critical_endpoint, critical_delay
+    return None, 0.0
 
-    # Backward pass: required times at cell outputs.  All end-point
-    # constraints are seeded first (an FF's D driver can sit anywhere in
-    # the topological order), then LUTs propagate in reverse order.
-    # Two backward passes with different targets:
-    #  * ``required``       — the usual clock target (the critical delay):
-    #    worst slack is exactly zero; drives placer criticalities.
-    #  * ``required_strict`` — each end point is constrained to its OWN
-    #    current arrival: a transform whose strict slacks stay >= 0 never
-    #    makes ANY end point worse than it is now.  Unification and
-    #    legalization budget against this, so fresh sub-critical gains on
-    #    one sink cannot be silently traded away up to the clock period.
+
+def backward_pass(
+    netlist: Netlist,
+    placement: Placement,
+    model: LinearDelayModel,
+    order: list[int],
+    arrival: dict[int, float],
+    endpoint_arrival: dict[Endpoint, float],
+    critical_delay: float,
+) -> tuple[dict[int, float], dict[int, float]]:
+    """Required times at cell outputs.  All end-point constraints are
+    seeded first (an FF's D driver can sit anywhere in the topological
+    order), then LUTs propagate in reverse order.  Two targets:
+
+    * ``required`` — the usual clock target (the critical delay): worst
+      slack is exactly zero; drives placer criticalities.
+    * ``required_strict`` — each end point is constrained to its OWN
+      current arrival: a transform whose strict slacks stay >= 0 never
+      makes ANY end point worse than it is now.  Unification and
+      legalization budget against this, so fresh sub-critical gains on
+      one sink cannot be silently traded away up to the clock period.
+
+    Shared with the incremental STA, which re-evaluates single drivers
+    with identical expression shapes (min-accumulation is order
+    independent, so pull-based recomputation is bit-exact).
+    """
     required: dict[int, float] = {cid: math.inf for cid in arrival}
     required_strict: dict[int, float] = {cid: math.inf for cid in arrival}
     for cid in order:
@@ -256,7 +279,24 @@ def analyze(
                 strict = strict_at_inputs - wire
                 if strict < required_strict[driver]:
                     required_strict[driver] = strict
+    return required, required_strict
 
+
+def analyze(
+    netlist: Netlist,
+    placement: Placement,
+    arch: FpgaArch | None = None,
+) -> TimingAnalysis:
+    """Run STA; all cells referenced by the netlist must be placed."""
+    model = (arch.delay_model if arch is not None else placement.arch.delay_model)
+    order = netlist.combinational_order()
+    arrival, arrival_pred, endpoint_arrival = forward_pass(
+        netlist, placement, model, order
+    )
+    critical_endpoint, critical_delay = critical_of(endpoint_arrival)
+    required, required_strict = backward_pass(
+        netlist, placement, model, order, arrival, endpoint_arrival, critical_delay
+    )
     return TimingAnalysis(
         arrival=arrival,
         arrival_pred=arrival_pred,

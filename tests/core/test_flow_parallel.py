@@ -1,0 +1,138 @@
+"""Batched / parallel per-sink embedding parity (execution-knob tests).
+
+``batch_sinks`` is an *algorithm* knob: >1 embeds several endpoints tied
+at the critical delay against one STA snapshot per iteration.  ``jobs``
+is an *execution* knob: it only decides whether :func:`_embed_for_sink`
+runs inline or in a worker process, so for a fixed ``batch_sinks`` the
+result must be bit-identical for every job count.  These tests pin both
+properties on a hand-built instance with two exactly-tied critical
+endpoints.
+"""
+
+import pytest
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.core.config import ReplicationConfig
+from repro.core.flow import optimize_replication
+from repro.netlist import Netlist, check_equivalence, validate_netlist
+from repro.place import Placement
+from repro.timing import analyze
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def twin_staircase_instance():
+    """Two mirror-image non-monotone chains; their sinks tie exactly.
+
+    Chain A runs along the top corridor (row 12) with its gates dragged
+    toward the bottom edge by side loads; chain B is the vertical mirror.
+    Every segment length matches between the chains, so the two sink
+    arrivals are the *same float* and both endpoints sit at the critical
+    delay — the situation ``batch_sinks > 1`` exists for.
+    """
+    nl = Netlist("twin-staircase")
+    sa = nl.add_input("sa")
+    g1a = nl.add_lut("g1a", 1, 0b01)
+    g2a = nl.add_lut("g2a", 1, 0b01)
+    ta = nl.add_output("ta")
+    o1a = nl.add_output("o1a")
+    o2a = nl.add_output("o2a")
+    nl.connect(sa, g1a, 0)
+    nl.connect(g1a, g2a, 0)
+    nl.connect(g2a, ta, 0)
+    nl.connect(g1a, o1a, 0)
+    nl.connect(g2a, o2a, 0)
+
+    sb = nl.add_input("sb")
+    g1b = nl.add_lut("g1b", 1, 0b01)
+    g2b = nl.add_lut("g2b", 1, 0b01)
+    tb = nl.add_output("tb")
+    o1b = nl.add_output("o1b")
+    o2b = nl.add_output("o2b")
+    nl.connect(sb, g1b, 0)
+    nl.connect(g1b, g2b, 0)
+    nl.connect(g2b, tb, 0)
+    nl.connect(g1b, o1b, 0)
+    nl.connect(g2b, o2b, 0)
+
+    arch = FpgaArch(12, 12, delay_model=SIMPLE)
+    placement = Placement(arch)
+    # Chain A: corridor row 12, gates at row 7, side loads on the bottom.
+    placement.place(sa, (0, 12))
+    placement.place(ta, (13, 12))
+    placement.place(o1a, (3, 0))
+    placement.place(o2a, (7, 0))
+    placement.place(g1a, (3, 7))
+    placement.place(g2a, (7, 7))
+    # Chain B: the mirror image (corridor row 1, gates row 6, loads top).
+    placement.place(sb, (0, 1))
+    placement.place(tb, (13, 1))
+    placement.place(o1b, (3, 13))
+    placement.place(o2b, (7, 13))
+    placement.place(g1b, (3, 6))
+    placement.place(g2b, (7, 6))
+    return nl, placement
+
+
+def _state_fingerprint(netlist, placement, result):
+    """Everything that must match between job counts, exactly."""
+    cells = {
+        cell.name: (cell.ctype.name, placement.get(cell.cell_id))
+        for cell in netlist.cells.values()
+    }
+    history = [
+        (r.sink, r.note, r.replicated, r.unified, r.delay_after)
+        for r in result.history
+    ]
+    return cells, history, result.final_delay
+
+
+def test_two_endpoints_tie_exactly():
+    nl, placement = twin_staircase_instance()
+    analysis = analyze(nl, placement)
+    critical = analysis.critical_delay
+    tied = [
+        ep
+        for ep, arrival in analysis.endpoint_arrival.items()
+        if arrival == critical
+    ]
+    assert len(tied) == 2
+
+
+def test_batched_flow_valid_and_engaged():
+    nl, placement = twin_staircase_instance()
+    before = analyze(nl, placement).critical_delay
+    reference = nl.clone()
+    result = optimize_replication(
+        nl, placement, ReplicationConfig(batch_sinks=2)
+    )
+    assert result.final_delay < before
+    assert any("batch of" in r.note for r in result.history)
+    assert check_equivalence(reference, nl)
+    validate_netlist(nl)
+    assert placement.is_legal()
+
+
+def test_batched_matches_serial_quality():
+    serial = optimize_replication(
+        *twin_staircase_instance(), ReplicationConfig()
+    )
+    batched = optimize_replication(
+        *twin_staircase_instance(), ReplicationConfig(batch_sinks=2)
+    )
+    assert batched.final_delay == pytest.approx(serial.final_delay)
+
+
+def test_jobs_parity_bit_identical():
+    """jobs=1 and jobs=2 must produce the same netlist, placement,
+    history and delay — parallelism is an execution knob only."""
+    nl1, pl1 = twin_staircase_instance()
+    r1 = optimize_replication(
+        nl1, pl1, ReplicationConfig(batch_sinks=2, jobs=1)
+    )
+    nl2, pl2 = twin_staircase_instance()
+    r2 = optimize_replication(
+        nl2, pl2, ReplicationConfig(batch_sinks=2, jobs=2)
+    )
+    assert any("batch of" in r.note for r in r1.history)
+    assert _state_fingerprint(nl1, pl1, r1) == _state_fingerprint(nl2, pl2, r2)

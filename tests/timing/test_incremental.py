@@ -1,0 +1,174 @@
+"""Property tests: IncrementalSTA is bit-identical to a fresh analyze().
+
+The incremental engine must agree with the oracle on every field —
+arrival, arrival predecessors, endpoint arrivals, critical endpoint and
+delay, and both required-time targets — with *exact* float equality
+(``==``, no tolerance), across randomized sequences of every edit the
+replication flow performs: cell moves, replication with fanout
+partitioning, input rewiring, unification, redundancy sweeps, and
+wholesale rollbacks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.conftest import place_in_row, sequential_netlist
+from repro.arch import FpgaArch
+from repro.netlist import Netlist
+from repro.place import Placement
+from repro.timing import IncrementalSTA, analyze
+
+
+def assert_matches_oracle(engine: IncrementalSTA, netlist: Netlist, placement: Placement):
+    got = engine.analysis()
+    oracle = analyze(netlist, placement)
+    assert got.arrival == oracle.arrival
+    assert got.arrival_pred == oracle.arrival_pred
+    assert got.endpoint_arrival == oracle.endpoint_arrival
+    assert got.critical_delay == oracle.critical_delay
+    assert got.critical_endpoint == oracle.critical_endpoint
+    assert got.required == oracle.required
+    assert got.required_strict == oracle.required_strict
+
+
+def random_netlist(rng: random.Random) -> Netlist:
+    """Random acyclic LUT/FF circuit (FF feedback allowed)."""
+    nl = Netlist("rand")
+    drivers = [nl.add_input(f"i{k}") for k in range(rng.randint(2, 4))]
+    ffs = [nl.add_ff(f"ff{k}") for k in range(rng.randint(0, 3))]
+    drivers += ffs
+    for k in range(rng.randint(4, 10)):
+        fanin = rng.randint(1, min(3, len(drivers)))
+        lut = nl.add_lut(f"l{k}", fanin, rng.randrange(1, 1 << (1 << fanin)))
+        for pin in range(fanin):
+            nl.connect(rng.choice(drivers), lut, pin)
+        drivers.append(lut)
+    for ff in ffs:
+        nl.connect(rng.choice(drivers), ff, 0)  # D pin; feedback is legal
+    for k in range(rng.randint(1, 3)):
+        nl.connect(rng.choice(drivers), nl.add_output(f"o{k}"), 0)
+    return nl
+
+
+def _random_logic_slot(rng: random.Random, arch: FpgaArch):
+    slots = arch.logic_slots()
+    return slots[rng.randrange(len(slots))]
+
+
+def _apply_random_edit(
+    rng: random.Random, nl: Netlist, pl: Placement, arch: FpgaArch
+) -> None:
+    """One random flow-style edit, keeping the netlist valid and placed."""
+    kind = rng.choice(["move", "move", "replicate", "rewire", "unify", "sweep"])
+    logic = [c for c in nl.cells.values() if not c.ctype.is_pad]
+    if kind == "move" and logic:
+        pl.place(rng.choice(logic), _random_logic_slot(rng, arch))
+    elif kind == "replicate":
+        candidates = [c for c in logic if nl.fanout_count(c) >= 1]
+        if not candidates:
+            return
+        original = rng.choice(candidates)
+        replica = nl.replicate_cell(original)
+        pl.place(replica, _random_logic_slot(rng, arch))
+        sinks = nl.fanout_pins(original)
+        assert replica.output is not None
+        nl.move_sink(rng.choice(sinks), replica.output)
+    elif kind == "rewire":
+        # Rewiring to a timing-start driver can never create a
+        # combinational cycle.
+        starts = [c for c in nl.cells.values() if c.is_timing_start and c.output is not None]
+        luts = nl.luts()
+        if not starts or not luts:
+            return
+        lut = rng.choice(luts)
+        pins = [p for p, net in enumerate(lut.inputs) if net is not None]
+        if not pins:
+            return
+        nl.rewire_input(lut, rng.choice(pins), rng.choice(starts))
+    elif kind == "unify":
+        by_class: dict[int, list] = {}
+        for cell in logic:
+            by_class.setdefault(cell.eq_class, []).append(cell)
+        pairs = [
+            (a, b)
+            for cells in by_class.values()
+            for a in cells
+            for b in cells
+            # Identical input nets => unification cannot create a cycle.
+            if a.cell_id != b.cell_id and set(a.inputs) == set(b.inputs)
+        ]
+        if not pairs:
+            return
+        victim, survivor = rng.choice(pairs)
+        nl.unify(victim, survivor)
+        pl.prune_to(nl)
+    elif kind == "sweep":
+        nl.sweep_redundant()
+        pl.prune_to(nl)
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_incremental_matches_oracle_across_edit_sequences(seed: int) -> None:
+    rng = random.Random(seed)
+    nl = random_netlist(rng)
+    arch = FpgaArch(8, 8)
+    pl = place_in_row(nl, arch)
+    engine = IncrementalSTA(nl, pl)
+    assert_matches_oracle(engine, nl, pl)
+    for _ in range(rng.randint(4, 9)):
+        _apply_random_edit(rng, nl, pl, arch)
+        assert_matches_oracle(engine, nl, pl)
+    engine.detach()
+
+
+def test_rollback_via_assign_from_triggers_rebuild() -> None:
+    rng = random.Random(7)
+    nl = random_netlist(rng)
+    arch = FpgaArch(8, 8)
+    pl = place_in_row(nl, arch)
+    engine = IncrementalSTA(nl, pl)
+    assert_matches_oracle(engine, nl, pl)
+    snapshot = nl.clone()
+    placement_snapshot = pl.copy()
+    for _ in range(4):
+        _apply_random_edit(rng, nl, pl, arch)
+    assert_matches_oracle(engine, nl, pl)
+    # Roll everything back the way the flow does on a failed speculation.
+    nl.assign_from(snapshot)
+    pl._slot_of = dict(placement_snapshot._slot_of)
+    pl._cells_at = placement_snapshot._cells_at
+    pl.notify_bulk()
+    assert_matches_oracle(engine, nl, pl)
+    engine.detach()
+
+
+def test_detach_stops_tracking() -> None:
+    nl = sequential_netlist()
+    arch = FpgaArch(8, 8)
+    pl = place_in_row(nl, arch)
+    engine = IncrementalSTA(nl, pl)
+    before = engine.analysis()
+    engine.detach()
+    g1 = nl.cell_by_name("g1")
+    pl.place(g1, (6, 6))
+    stale = engine.analysis()
+    assert stale.arrival == before.arrival  # no longer listening
+    fresh = IncrementalSTA(nl, pl).analysis()
+    assert fresh.arrival == analyze(nl, pl).arrival
+
+
+def test_noop_move_keeps_values_without_full_rebuild() -> None:
+    nl = sequential_netlist()
+    arch = FpgaArch(8, 8)
+    pl = place_in_row(nl, arch)
+    engine = IncrementalSTA(nl, pl)
+    engine.analysis()
+    g1 = nl.cell_by_name("g1")
+    original = pl.slot_of(g1.cell_id)
+    pl.place(g1, (6, 6))
+    pl.place(g1, original)  # net effect: nothing moved
+    assert not engine._full
+    assert_matches_oracle(engine, nl, pl)
