@@ -203,6 +203,43 @@ def phase_flow_micro(repeats: int, quick: bool) -> float:
     return _best_of(run, repeats)
 
 
+def _routing_workload(quick: bool):
+    """Placed circuit plus the fixed low-stress width for route phases.
+
+    The low-stress width is derived once with the default engine so the
+    before/after comparison routes at the identical width regardless of
+    ``--engine``.
+    """
+    from repro.route.metrics import find_min_channel_width
+
+    netlist, placement = _placed_circuit(luts=120 if quick else 400, seed=7)
+    min_width = find_min_channel_width(netlist, placement)
+    width = max(min_width + 1, math.ceil(min_width * 1.2))
+    return netlist, placement, width
+
+
+def phase_route_winf(repeats: int, quick: bool, engine: str) -> float:
+    from repro.route.pathfinder import route_design
+
+    netlist, placement, _width = _routing_workload(quick)
+
+    def run() -> None:
+        route_design(netlist, placement, math.inf, max_iterations=1, engine=engine)
+
+    return _best_of(run, repeats)
+
+
+def phase_route_lowstress(repeats: int, quick: bool, engine: str) -> float:
+    from repro.route.pathfinder import route_design
+
+    netlist, placement, width = _routing_workload(quick)
+
+    def run() -> None:
+        route_design(netlist, placement, width, engine=engine)
+
+    return _best_of(run, repeats)
+
+
 def phase_legalizer(repeats: int, quick: bool) -> float:
     """Legalize a deliberately overfull placement."""
     from repro.place.legalizer import TimingDrivenLegalizer
@@ -232,10 +269,12 @@ PHASES = (
     "embedder_lex3",
     "legalizer",
     "flow_micro",
+    "route_winf",
+    "route_lowstress",
 )
 
 
-def run_phases(repeats: int, quick: bool) -> dict[str, float]:
+def run_phases(repeats: int, quick: bool, engine: str = "fast") -> dict[str, float]:
     timings: dict[str, float] = {}
     timings["sta_full"] = phase_sta_full(repeats, quick)
     timings["sta_after_move"] = phase_sta_after_move(repeats, quick)
@@ -244,6 +283,10 @@ def run_phases(repeats: int, quick: bool) -> dict[str, float]:
     timings["embedder_lex3"] = phase_embedder_lex3(repeats)
     timings["legalizer"] = phase_legalizer(repeats, quick)
     timings["flow_micro"] = phase_flow_micro(max(1, repeats - 1), quick)
+    timings["route_winf"] = phase_route_winf(repeats, quick, engine)
+    timings["route_lowstress"] = phase_route_lowstress(
+        max(1, repeats - 1), quick, engine
+    )
     return timings
 
 
@@ -263,6 +306,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-write", action="store_true", help="print only, do not write --out"
     )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="router engine for the route_* phases (reference = parity "
+        "oracle, for regenerating 'before' numbers)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -273,7 +323,7 @@ def main(argv: list[str] | None = None) -> int:
     except ImportError:  # seed code without the perf registry
         PERF = None
 
-    timings = run_phases(args.repeats, args.quick)
+    timings = run_phases(args.repeats, args.quick, args.engine)
 
     report: dict = {
         "meta": {

@@ -83,6 +83,7 @@ def run_vpr_baseline(
     scale: float = 0.08,
     seed: int = 0,
     inner_scale: float = 0.25,
+    route_jobs: int = 1,
 ) -> BaselineRun:
     """Generate, place (timing-driven SA) and route one suite circuit."""
     start = time.perf_counter()
@@ -92,7 +93,7 @@ def run_vpr_baseline(
     )
     min_width = find_min_channel_width(netlist, placement)
     low = route_low_stress(netlist, placement, min_width=min_width)
-    infinite = route_infinite(netlist, placement)
+    infinite = route_infinite(netlist, placement, jobs=route_jobs)
     elapsed = time.perf_counter() - start
 
     w_ls = routed_critical_delay(netlist, placement, low).critical_delay
@@ -140,6 +141,7 @@ def run_variant(
     seed: int = 0,
     batch_sinks: int = 1,
     jobs: int = 1,
+    route_jobs: int = 1,
 ) -> VariantRun:
     """Run one optimization algorithm against a baseline and re-route."""
     netlist = baseline.netlist.clone()
@@ -160,7 +162,7 @@ def run_variant(
     seconds = time.perf_counter() - start
 
     low = route_low_stress(netlist, placement, min_width=baseline.min_width)
-    infinite = route_infinite(netlist, placement)
+    infinite = route_infinite(netlist, placement, jobs=route_jobs)
     w_ls = routed_critical_delay(netlist, placement, low).critical_delay
     w_inf = routed_critical_delay(netlist, placement, infinite).critical_delay
     return VariantRun(
@@ -238,6 +240,12 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for batched embeddings (bit-identical results)",
     )
     parser.add_argument(
+        "--route-jobs",
+        type=int,
+        default=1,
+        help="worker processes for W-infinity routing (bit-identical results)",
+    )
+    parser.add_argument(
         "--perf-json",
         default=None,
         metavar="PATH",
@@ -289,7 +297,9 @@ def main(argv: list[str] | None = None) -> int:
         total_pr = 0.0
         total_opt = 0.0
         for name in names:
-            baseline = run_vpr_baseline(name, scale=args.scale, seed=args.seed)
+            baseline = run_vpr_baseline(
+                name, scale=args.scale, seed=args.seed, route_jobs=args.route_jobs
+            )
             run = run_variant(
                 baseline,
                 "rt",
@@ -297,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 batch_sinks=args.batch_sinks,
                 jobs=args.jobs,
+                route_jobs=args.route_jobs,
             )
             total_pr += baseline.place_route_seconds
             total_opt += run.seconds

@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print perf counters/timers after the flow")
     parser.add_argument("--route", action="store_true",
                         help="run low-stress + infinite routing at the end")
+    parser.add_argument("--route-jobs", type=int, default=1,
+                        help="worker processes for W-infinity routing "
+                        "(results are bit-identical for any value)")
     parser.add_argument("--in-placement", type=Path,
                         help="start from a saved placement instead of SA")
     parser.add_argument("--out-blif", type=Path)
@@ -130,8 +133,6 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
             ),
         )
-        if args.perf:
-            PERF.disable()
         print(
             f"replication ({args.algorithm}) in {time.perf_counter() - start:.1f}s: "
             f"{result.initial_delay:.2f} -> {result.final_delay:.2f} "
@@ -139,15 +140,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{result.total_unified} unified, {len(result.history)} iterations)"
         )
         print(render_history(result.history))
-        if args.perf:
-            print(PERF.format())
         validate_netlist(netlist)
         if args.draw:
             print(render_placement(netlist, placement))
 
     if args.route:
+        if args.perf and not PERF.enabled:
+            PERF.reset()
+            PERF.enable()
         low = route_low_stress(netlist, placement)
-        infinite = route_infinite(netlist, placement)
+        infinite = route_infinite(netlist, placement, jobs=args.route_jobs)
         w_ls = routed_critical_delay(netlist, placement, low)
         w_inf = routed_critical_delay(netlist, placement, infinite)
         print(
@@ -155,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
             f"W_ls {w_ls.critical_delay:.2f} (W={low.channel_width:g})  "
             f"wire {w_ls.wirelength}"
         )
+
+    if args.perf and PERF.enabled:
+        PERF.disable()
+        print(PERF.format())
 
     if args.out_blif is not None:
         args.out_blif.write_text(write_blif(netlist))

@@ -72,6 +72,11 @@ class PerfRegistry:
     def add_time(self, name: str, seconds: float) -> None:
         self._timers[name] += seconds
 
+    def merge_times(self, times: dict[str, float]) -> None:
+        """Fold timer totals aggregated elsewhere (a worker) in."""
+        for name, seconds in times.items():
+            self._timers[name] += seconds
+
     @contextmanager
     def timer(self, name: str):
         """Accumulate the wall time of the ``with`` body under ``name``.

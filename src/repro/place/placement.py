@@ -96,6 +96,15 @@ class Placement:
         """Slot of a cell or ``None`` if unplaced."""
         return self._slot_of.get(cell_id)
 
+    def slot_map(self) -> dict[int, Slot]:
+        """The live cell-id -> slot mapping, for read-only bulk access.
+
+        Hot analysis loops (STA passes) index this directly instead of
+        paying a method call per edge.  Treat it as frozen: mutating it
+        would desynchronize the per-slot occupancy index.
+        """
+        return self._slot_of
+
     def cells_at(self, slot: Slot) -> list[int]:
         """Cell ids currently at ``slot`` (possibly more than capacity)."""
         return list(self._cells_at.get(slot, ()))

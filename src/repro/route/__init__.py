@@ -8,9 +8,15 @@ from repro.route.metrics import (
     routed_critical_delay,
 )
 from repro.route.pathfinder import NetRoute, RoutingResult, route_design
-from repro.route.rrgraph import RoutingGraph, Segment, segment
+from repro.route.rrgraph import (
+    IndexedRoutingGraph,
+    RoutingGraph,
+    Segment,
+    segment,
+)
 
 __all__ = [
+    "IndexedRoutingGraph",
     "NetRoute",
     "RoutedTiming",
     "RoutingGraph",

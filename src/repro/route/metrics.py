@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 
 from repro.netlist.netlist import Netlist
+from repro.perf import PERF
 from repro.place.placement import Placement
 from repro.route.pathfinder import RoutingResult, route_design
 
@@ -33,24 +34,30 @@ def find_min_channel_width(
     placement: Placement,
     max_width: int = 128,
     max_iterations: int = 16,
+    engine: str = "fast",
 ) -> int:
     """Binary-search the smallest routable channel width."""
-    low, high = 1, 1
-    while high <= max_width:
-        if route_design(netlist, placement, high, max_iterations).success:
-            break
-        low = high + 1
-        high *= 2
-    else:
-        raise RuntimeError(f"unroutable even at channel width {max_width}")
-    # Invariant: high routes, widths below low fail.
-    while low < high:
-        mid = (low + high) // 2
-        if route_design(netlist, placement, mid, max_iterations).success:
-            high = mid
+    with PERF.timer("route.wmin"):
+        low, high = 1, 1
+        while high <= max_width:
+            if route_design(
+                netlist, placement, high, max_iterations, engine=engine
+            ).success:
+                break
+            low = high + 1
+            high *= 2
         else:
-            low = mid + 1
-    return high
+            raise RuntimeError(f"unroutable even at channel width {max_width}")
+        # Invariant: high routes, widths below low fail.
+        while low < high:
+            mid = (low + high) // 2
+            if route_design(
+                netlist, placement, mid, max_iterations, engine=engine
+            ).success:
+                high = mid
+            else:
+                low = mid + 1
+        return high
 
 
 def route_low_stress(
@@ -58,17 +65,32 @@ def route_low_stress(
     placement: Placement,
     min_width: int | None = None,
     stress_margin: float = 0.2,
+    engine: str = "fast",
 ) -> RoutingResult:
     """Route with ~20% spare tracks over the minimum ([18]'s low stress)."""
     if min_width is None:
-        min_width = find_min_channel_width(netlist, placement)
+        min_width = find_min_channel_width(netlist, placement, engine=engine)
     width = max(min_width + 1, math.ceil(min_width * (1.0 + stress_margin)))
-    return route_design(netlist, placement, width)
+    with PERF.timer("route.lowstress"):
+        return route_design(netlist, placement, width, engine=engine)
 
 
-def route_infinite(netlist: Netlist, placement: Placement) -> RoutingResult:
-    """Route with unbounded resources (every net on a shortest tree)."""
-    return route_design(netlist, placement, math.inf, max_iterations=1)
+def route_infinite(
+    netlist: Netlist,
+    placement: Placement,
+    engine: str = "fast",
+    jobs: int = 1,
+) -> RoutingResult:
+    """Route with unbounded resources (every net on a shortest tree).
+
+    ``jobs > 1`` fans the (independent) per-net searches out across
+    worker processes; results are bit-identical for any job count.
+    """
+    with PERF.timer("route.winf"):
+        return route_design(
+            netlist, placement, math.inf, max_iterations=1,
+            engine=engine, jobs=jobs,
+        )
 
 
 def routed_critical_delay(

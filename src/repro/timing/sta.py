@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.arch.delay import LinearDelayModel
 from repro.arch.fpga import FpgaArch
+from repro.netlist.cells import CellType
 from repro.netlist.netlist import Netlist
 from repro.place.placement import Placement
 
@@ -160,47 +161,72 @@ def forward_pass(
     arrival_pred: dict[int, Endpoint | None] = {}
     endpoint_arrival: dict[Endpoint, float] = {}
 
+    # Hoisted hot-loop state: the per-edge work below is the single most
+    # executed code in a full analysis, so cell-type tests use ``is`` on
+    # local enum members and the wire delay is computed inline (same
+    # expression as LinearDelayModel.wire_delay, so values stay exact).
+    cells = netlist.cells
+    nets = netlist.nets
+    slot = placement.slot_map()
+    conn = model.connection_delay
+    per_unit = model.wire_delay_per_unit
+    lut_delay = model.cell_delay(True)
+    launch_ff = model.launch_delay(True)
+    launch_pad = model.launch_delay(False)
+    capture_ff = model.capture_delay(True)
+    capture_pad = model.capture_delay(False)
+    t_input, t_output = CellType.INPUT, CellType.OUTPUT
+    t_lut, t_ff = CellType.LUT, CellType.FF
+
     for cid in order:
-        cell = netlist.cells[cid]
-        if cell.is_timing_start:
-            arrival[cid] = model.launch_delay(cell.is_ff)
+        cell = cells[cid]
+        ctype = cell.ctype
+        if ctype is t_input:
+            arrival[cid] = launch_pad
             arrival_pred[cid] = None
-        if cell.is_lut:
+        elif ctype is t_ff:
+            arrival[cid] = launch_ff
+            arrival_pred[cid] = None
+        elif ctype is t_lut:
             best = 0.0
             best_pred: Endpoint | None = None
+            sx, sy = slot[cid]
             for pin, net_id in enumerate(cell.inputs):
                 if net_id is None:
                     continue
-                driver = netlist.nets[net_id].driver
-                assert driver is not None
-                dist = placement.arch.distance(
-                    placement.slot_of(driver), placement.slot_of(cid)
+                driver = nets[net_id].driver
+                dx, dy = slot[driver]
+                dist = (dx - sx if dx >= sx else sx - dx) + (
+                    dy - sy if dy >= sy else sy - dy
                 )
-                at = arrival[driver] + model.wire_delay(dist)
+                wire = 0.0 if dist <= 0 else conn + per_unit * dist
+                at = arrival[driver] + wire
                 if best_pred is None or at > best:
                     best = at
                     best_pred = (driver, pin)
-            arrival[cid] = best + model.cell_delay(True)
+            arrival[cid] = best + lut_delay
             arrival_pred[cid] = best_pred
     # End-point arrivals in a second pass: an FF is both a start point
     # (early in topological order) and an end point whose D driver may be
     # ordered after it, so D-pin arrivals need all outputs settled first.
     for cid in order:
-        cell = netlist.cells[cid]
-        if not cell.is_timing_end:
+        cell = cells[cid]
+        ctype = cell.ctype
+        if ctype is not t_output and ctype is not t_ff:
             continue
-        pin = 0
-        net_id = cell.inputs[pin] if cell.inputs else None
+        net_id = cell.inputs[0] if cell.inputs else None
         if net_id is not None:
-            driver = netlist.nets[net_id].driver
-            assert driver is not None
-            dist = placement.arch.distance(
-                placement.slot_of(driver), placement.slot_of(cid)
+            driver = nets[net_id].driver
+            sx, sy = slot[cid]
+            dx, dy = slot[driver]
+            dist = (dx - sx if dx >= sx else sx - dx) + (
+                dy - sy if dy >= sy else sy - dy
             )
-            endpoint_arrival[(cid, pin)] = (
+            wire = 0.0 if dist <= 0 else conn + per_unit * dist
+            endpoint_arrival[(cid, 0)] = (
                 arrival[driver]
-                + model.wire_delay(dist)
-                + model.capture_delay(cell.is_ff)
+                + wire
+                + (capture_ff if ctype is t_ff else capture_pad)
             )
     return arrival, arrival_pred, endpoint_arrival
 
@@ -242,17 +268,35 @@ def backward_pass(
     """
     required: dict[int, float] = {cid: math.inf for cid in arrival}
     required_strict: dict[int, float] = {cid: math.inf for cid in arrival}
+    # Same hoisting/inlining as forward_pass (see comment there); the
+    # arithmetic below must stay expression-identical to the model
+    # helpers for the incremental STA's bit-exactness contract.
+    cells = netlist.cells
+    nets = netlist.nets
+    slot = placement.slot_map()
+    conn = model.connection_delay
+    per_unit = model.wire_delay_per_unit
+    lut_delay = model.cell_delay(True)
+    capture_ff = model.capture_delay(True)
+    capture_pad = model.capture_delay(False)
+    t_output, t_lut, t_ff = CellType.OUTPUT, CellType.LUT, CellType.FF
+
     for cid in order:
-        cell = netlist.cells[cid]
-        if cell.is_timing_end and cell.inputs:
+        cell = cells[cid]
+        ctype = cell.ctype
+        if (ctype is t_output or ctype is t_ff) and cell.inputs:
             net_id = cell.inputs[0]
             if net_id is not None:
-                driver = netlist.nets[net_id].driver
-                assert driver is not None
-                dist = placement.arch.distance(
-                    placement.slot_of(driver), placement.slot_of(cid)
+                driver = nets[net_id].driver
+                sx, sy = slot[cid]
+                dx, dy = slot[driver]
+                dist = (dx - sx if dx >= sx else sx - dx) + (
+                    dy - sy if dy >= sy else sy - dy
                 )
-                wire_and_capture = model.capture_delay(cell.is_ff) + model.wire_delay(dist)
+                wire = 0.0 if dist <= 0 else conn + per_unit * dist
+                wire_and_capture = (
+                    capture_ff if ctype is t_ff else capture_pad
+                ) + wire
                 req = critical_delay - wire_and_capture
                 if req < required[driver]:
                     required[driver] = req
@@ -260,19 +304,20 @@ def backward_pass(
                 if own < required_strict[driver]:
                     required_strict[driver] = own
     for cid in reversed(order):
-        cell = netlist.cells[cid]
-        if cell.is_lut:
-            req_at_inputs = required[cid] - model.cell_delay(True)
-            strict_at_inputs = required_strict[cid] - model.cell_delay(True)
+        cell = cells[cid]
+        if cell.ctype is t_lut:
+            req_at_inputs = required[cid] - lut_delay
+            strict_at_inputs = required_strict[cid] - lut_delay
+            sx, sy = slot[cid]
             for net_id in cell.inputs:
                 if net_id is None:
                     continue
-                driver = netlist.nets[net_id].driver
-                assert driver is not None
-                dist = placement.arch.distance(
-                    placement.slot_of(driver), placement.slot_of(cid)
+                driver = nets[net_id].driver
+                dx, dy = slot[driver]
+                dist = (dx - sx if dx >= sx else sx - dx) + (
+                    dy - sy if dy >= sy else sy - dy
                 )
-                wire = model.wire_delay(dist)
+                wire = 0.0 if dist <= 0 else conn + per_unit * dist
                 req = req_at_inputs - wire
                 if req < required[driver]:
                     required[driver] = req

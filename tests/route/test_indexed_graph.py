@@ -1,0 +1,135 @@
+"""Equivalence tests: IndexedRoutingGraph mirrors RoutingGraph exactly.
+
+The fast router's parity argument rests on the indexed graph being a
+relabelling of the reference graph — same slots, same probe order, same
+segment pricing — plus correct incremental bookkeeping (wirelength,
+over-use, the at-capacity count behind ``uniform_cost``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arch import FpgaArch
+from repro.route import IndexedRoutingGraph, RoutingGraph, segment
+
+
+def graphs(width=5, height=4, channel_width=2.0):
+    arch = FpgaArch(width, height)
+    return RoutingGraph(arch, channel_width), IndexedRoutingGraph(arch, channel_width)
+
+
+class TestStructure:
+    def test_slot_numbering_is_sorted_tuple_order(self):
+        ref, ig = graphs()
+        assert ig.slots == ref.slots()
+        assert ig.slots == sorted(ig.slots)
+        for i, slot in enumerate(ig.slots):
+            assert ig.slot_index[slot] == i
+            assert (ig.xs[i], ig.ys[i]) == slot
+
+    def test_neighbour_probe_order_matches_reference(self):
+        """CSR rows replay the reference's (+x, -x, +y, -y) probe order."""
+        ref, ig = graphs()
+        for i, slot in enumerate(ig.slots):
+            row = [
+                ig.slots[ig.nbr_slot[k]]
+                for k in range(ig.nbr_ptr[i], ig.nbr_ptr[i + 1])
+            ]
+            assert row == ref.neighbours(slot), f"slot {slot}"
+            adj_row = [ig.slots[v] for v, _s, _x, _y in ig.adj[i]]
+            assert adj_row == row, f"slot {slot}: adj tuple diverged from CSR"
+
+    def test_segment_ids_ascending_canonical(self):
+        _ref, ig = graphs()
+        assert ig.seg_slots == sorted(ig.seg_slots)
+        assert len(set(ig.seg_slots)) == ig.num_segments
+        for a, b in ig.seg_slots:
+            assert segment(a, b) == (a, b)
+        # Every CSR edge carries the id of its canonical segment.
+        for i, slot in enumerate(ig.slots):
+            for k in range(ig.nbr_ptr[i], ig.nbr_ptr[i + 1]):
+                nbr = ig.slots[ig.nbr_slot[k]]
+                assert ig.seg_slots[ig.nbr_seg[k]] == segment(slot, nbr)
+
+
+class TestPricingEquivalence:
+    def test_congestion_cost_bitwise_equal_under_random_state(self):
+        """Randomized usage/history: both graphs price every segment to
+        the exact same float, at several present factors."""
+        ref, ig = graphs(channel_width=2.0)
+        rng = random.Random(5)
+        for seg_id, seg in enumerate(ig.seg_slots):
+            for _ in range(rng.randint(0, 4)):
+                ref.occupy(seg)
+                ig.occupy(seg_id)
+            if rng.random() < 0.3:
+                h = rng.uniform(0.1, 3.0)
+                ref.history[seg] = h
+                ig.history[seg_id] = h
+        for pf in (0.5, 0.8, 1.6, 4.096):
+            for seg_id, seg in enumerate(ig.seg_slots):
+                assert ig.congestion_cost(seg_id, pf) == ref.congestion_cost(seg, pf)
+
+    def test_accrue_history_matches(self):
+        ref, ig = graphs(channel_width=1.0)
+        rng = random.Random(9)
+        for seg_id, seg in enumerate(ig.seg_slots):
+            for _ in range(rng.randint(0, 3)):
+                ref.occupy(seg)
+                ig.occupy(seg_id)
+        ref.accrue_history()
+        ig.accrue_history()
+        for seg_id, seg in enumerate(ig.seg_slots):
+            assert ig.history[seg_id] == ref.history.get(seg, 0.0)
+
+
+class TestOccupancyBookkeeping:
+    def test_totals_match_reference_through_random_churn(self):
+        ref, ig = graphs(channel_width=2.0)
+        rng = random.Random(17)
+        live: list[int] = []
+        for _ in range(400):
+            if live and rng.random() < 0.4:
+                seg_id = live.pop(rng.randrange(len(live)))
+                ref.release(ig.seg_slots[seg_id])
+                ig.release(seg_id)
+            else:
+                seg_id = rng.randrange(ig.num_segments)
+                live.append(seg_id)
+                ref.occupy(ig.seg_slots[seg_id])
+                ig.occupy(seg_id)
+            assert ig.total_wirelength() == ref.total_wirelength()
+            assert ig.total_overuse() == ref.total_overuse()
+
+    def test_overused_segments_listing(self):
+        _ref, ig = graphs(channel_width=1.0)
+        ig.occupy(3)
+        ig.occupy(3)
+        ig.occupy(7)
+        assert ig.overused_segments() == [3]
+        ig.release(3)
+        assert ig.overused_segments() == []
+
+    def test_uniform_cost_flips_at_capacity_not_overuse(self):
+        """A segment at exactly full capacity already prices its next
+        user above 1.0, so uniform_cost must go False before any
+        over-use exists."""
+        _ref, ig = graphs(channel_width=2.0)
+        assert ig.uniform_cost()
+        ig.occupy(0)
+        assert ig.uniform_cost()  # 1 of 2 tracks: next user still free
+        ig.occupy(0)
+        assert ig.total_overuse() == 0
+        assert not ig.uniform_cost()  # full: next user pays present cost
+        ig.release(0)
+        assert ig.uniform_cost()
+
+    def test_history_disables_uniform_cost_permanently(self):
+        _ref, ig = graphs(channel_width=1.0)
+        ig.occupy(0)
+        ig.occupy(0)
+        ig.accrue_history()
+        ig.release(0)
+        ig.release(0)
+        assert not ig.uniform_cost()  # history cost lingers on the segment

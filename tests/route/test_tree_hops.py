@@ -1,0 +1,112 @@
+"""Regression tests for route-tree hop accounting on branching trees.
+
+``NetRoute.sink_hops`` feeds the routed-timing analysis (hops = wire
+segments = units of wire delay), so a miscount on a branching Steiner
+tree silently skews every routed critical-path number.  These tests pin
+the hop counts against an independent BFS over the route's segments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.arch import FpgaArch, LinearDelayModel
+from repro.netlist import Netlist
+from repro.place import Placement
+from repro.route import NetRoute, route_design
+from repro.route.pathfinder import _tree_hops
+from tests.route.test_parity import random_circuit
+
+SIMPLE = LinearDelayModel(1.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+
+
+def bfs_hops(segments, source, sinks):
+    """Independent hop count: plain BFS over the segment adjacency."""
+    adjacency = {}
+    for a, b in segments:
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        slot = queue.popleft()
+        for nxt in adjacency.get(slot, ()):
+            if nxt not in dist:
+                dist[nxt] = dist[slot] + 1
+                queue.append(nxt)
+    return {s: dist[s] for s in sinks if s in dist}
+
+
+class TestTreeHopsUnit:
+    def test_branching_tree_counts_each_arm(self):
+        """A T-shaped tree: trunk (0,1)->(3,1), arms up and down at x=3."""
+        source = (0, 1)
+        trunk = [((x, 1), (x + 1, 1)) for x in range(3)]
+        up = [((3, 1), (3, 2)), ((3, 2), (3, 3))]
+        down = [((3, 0), (3, 1))]
+        route = NetRoute(net_id=0, source=source, segments=trunk + up + down)
+        sinks = {(3, 3), (3, 0), (2, 1)}
+        hops = _tree_hops(route, source, sinks)
+        assert hops == {(3, 3): 5, (3, 0): 4, (2, 1): 2}
+
+    def test_sink_on_trunk_not_charged_for_branches(self):
+        """A sink sitting mid-trunk keeps its trunk distance even though
+        a longer branch hangs off an earlier node."""
+        source = (0, 0)
+        trunk = [((x, 0), (x + 1, 0)) for x in range(4)]
+        branch = [((1, 0), (1, 1)), ((1, 1), (1, 2)), ((1, 2), (1, 3))]
+        route = NetRoute(net_id=0, source=source, segments=trunk + branch)
+        hops = _tree_hops(route, source, {(4, 0), (1, 3)})
+        assert hops == {(4, 0): 4, (1, 3): 4}
+
+    def test_unreached_sink_omitted(self):
+        route = NetRoute(net_id=0, source=(0, 0), segments=[((0, 0), (1, 0))])
+        hops = _tree_hops(route, (0, 0), {(1, 0), (5, 5)})
+        assert hops == {(1, 0): 1}
+
+
+class TestTreeHopsEndToEnd:
+    def test_branching_multi_sink_route(self):
+        """Route a 3-sink net whose tree must branch; hop counts match an
+        independent BFS over the returned segments."""
+        nl = Netlist()
+        a = nl.add_input("a")
+        sinks = []
+        for i, slot in enumerate([(3, 1), (3, 5), (5, 3)]):
+            g = nl.add_lut(f"g{i}", 1, 0b01)
+            nl.connect(a, g, 0)
+            o = nl.add_output(f"o{i}")
+            nl.connect(g, o, 0)
+            sinks.append((g, slot))
+        arch = FpgaArch(6, 6, delay_model=SIMPLE)
+        placement = Placement(arch)
+        placement.place(a, (0, 3))
+        pads = iter([(0, 1), (0, 2), (0, 4)])
+        for g, slot in sinks:
+            placement.place(g, slot)
+        for cell in nl.cells.values():
+            if cell.ctype.is_pad and not placement.is_placed(cell.cell_id):
+                placement.place(cell, next(pads))
+        result = route_design(nl, placement, math.inf, max_iterations=1)
+        assert a.output is not None
+        route = result.routes[a.output]
+        expected = bfs_hops(route.segments, route.source, set(route.sink_hops))
+        assert route.sink_hops == expected
+        # The tree genuinely branches: 3 sinks, shared trunk shorter than
+        # the sum of the three source->sink distances.
+        assert len(route.sink_hops) == 3
+        assert route.wirelength < sum(
+            abs(s[0]) - 0 + abs(s[1] - 3) + 0 for _g, s in sinks
+        ) + 9
+
+    def test_random_routes_agree_with_bfs(self):
+        """Every net of 25 random W∞ routings: sink_hops == BFS hops."""
+        for seed in range(25):
+            nl, placement = random_circuit(seed)
+            result = route_design(nl, placement, math.inf, max_iterations=1)
+            for route in result.routes.values():
+                expected = bfs_hops(
+                    route.segments, route.source, set(route.sink_hops)
+                )
+                assert route.sink_hops == expected, f"seed {seed}"
