@@ -10,17 +10,22 @@ embedding DP, the replication tree, Lex-N/Lex-mc reconvergence-aware
 variants, a timing-driven legalizer, and the local-replication baseline
 the paper compares against.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade)::
 
-    from repro import optimize_replication, place_timing_driven, analyze
-    from repro.bench import suite_circuit
+    from repro import api
 
-    netlist, arch = suite_circuit("tseng", scale=0.1)
-    placement, _ = place_timing_driven(netlist, arch, seed=1)
-    before = analyze(netlist, placement).critical_delay
-    result = optimize_replication(netlist, placement)
-    print(before, "->", result.final_delay)
+    design = api.load_design(circuit="tseng", scale=0.1)
+    placed = api.place(design, seed=1)
+    result = api.optimize(design, placed.placement)
+    print(placed.critical_delay, "->", result.final_delay)
+
+The lower-level building blocks (schemes, embedder, legalizer, router)
+remain importable from their subpackages; ``repro.optimize_replication``
+is a deprecated alias of :func:`repro.api.optimize`'s core —
+use the facade (or :func:`repro.core.flow.optimize_replication`).
 """
+
+import warnings as _warnings
 
 from repro.arch import ElmoreDelayModel, FpgaArch, LinearDelayModel
 from repro.core import (
@@ -34,9 +39,10 @@ from repro.core import (
     OptimizationResult,
     ReplicationConfig,
     ReplicationOptimizer,
-    optimize_replication,
     scheme_by_name,
 )
+from repro.core.config import RunConfig
+from repro.core.flow import optimize_replication as _optimize_replication
 from repro.netlist import Netlist, check_equivalence, validate_netlist
 from repro.place import (
     Placement,
@@ -48,11 +54,41 @@ from repro.place import (
 from repro.route import route_infinite, route_low_stress, routed_critical_delay
 from repro.timing import analyze, build_spt, delay_lower_bound
 
-__version__ = "1.0.0"
+from repro import api
+from repro.api import (
+    Design,
+    EvalResult,
+    OptimizeResult,
+    PlaceResult,
+    RouteResult,
+    evaluate,
+    load_design,
+    optimize,
+    resume,
+)
+
+__version__ = "1.1.0"
+
+
+def optimize_replication(netlist, placement, config=None):
+    """Deprecated alias of :func:`repro.core.flow.optimize_replication`.
+
+    Kept so pre-facade callers keep working; new code should use
+    :func:`repro.api.optimize` (or import the core function directly).
+    """
+    _warnings.warn(
+        "repro.optimize_replication is deprecated; use repro.api.optimize "
+        "(or repro.core.flow.optimize_replication)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _optimize_replication(netlist, placement, config)
 
 __all__ = [
+    "Design",
     "ElmoreDelayModel",
     "EmbedderOptions",
+    "EvalResult",
     "FaninTree",
     "FaninTreeEmbedder",
     "FpgaArch",
@@ -63,10 +99,19 @@ __all__ = [
     "MaxArrivalScheme",
     "Netlist",
     "OptimizationResult",
+    "OptimizeResult",
+    "PlaceResult",
     "Placement",
     "ReplicationConfig",
     "ReplicationOptimizer",
+    "RouteResult",
+    "RunConfig",
     "analyze",
+    "api",
+    "evaluate",
+    "load_design",
+    "optimize",
+    "resume",
     "build_spt",
     "check_equivalence",
     "delay_lower_bound",

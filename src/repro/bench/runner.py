@@ -25,9 +25,8 @@ from dataclasses import dataclass, field
 from repro.arch.fpga import FpgaArch
 from repro.baselines.local_replication import best_of_runs
 from repro.bench.suite import LARGE_CIRCUITS, suite_circuit, suite_names
-from repro.core.config import ReplicationConfig
+from repro.core.config import ReplicationConfig, RunConfig
 from repro.core.flow import OptimizationResult, optimize_replication
-from repro.core.signatures import scheme_by_name
 from repro.netlist.netlist import Netlist
 from repro.perf import PERF
 from repro.place.placement import Placement
@@ -121,17 +120,15 @@ def replication_config(
     batch_sinks: int = 1,
     jobs: int = 1,
 ) -> ReplicationConfig:
-    """Config for one algorithm key at a relative effort level."""
-    scheme = scheme_by_name("rt" if algorithm == "rt" else algorithm)
-    return ReplicationConfig(
-        scheme=scheme,
-        max_iterations=max(6, int(40 * effort)),
-        patience=max(2, int(6 * effort)),
-        max_tree_nodes=max(12, int(48 * effort)),
-        max_labels_per_vertex=6,
-        batch_sinks=batch_sinks,
-        jobs=jobs,
-    )
+    """Config for one algorithm key at a relative effort level.
+
+    Thin wrapper over :meth:`repro.core.config.RunConfig.replication_config`
+    so the benchmark runner and the CLI resolve effort/algorithm through
+    the same mapping (they used to drift).
+    """
+    return RunConfig(
+        algorithm=algorithm, effort=effort, batch_sinks=batch_sinks, jobs=jobs
+    ).replication_config()
 
 
 def run_variant(

@@ -1,49 +1,53 @@
-"""Command-line flow driver: ``python -m repro``.
+"""Command-line flow driver: ``python -m repro <subcommand>``.
 
-A small end-to-end CLI so the library can be driven without writing
-Python:
+Subcommands::
 
-* input is either a BLIF file (``--blif design.blif``) or a suite
-  circuit (``--circuit tseng --scale 0.1``);
-* stages: timing-driven placement -> (optional) replication ->
-  (optional) routing;
-* outputs: a human report, and optionally the optimized netlist
-  (``--out-blif``) and placement (``--out-placement``).
+    repro run        end-to-end flow: place -> replicate -> (route)
+    repro route      route an existing placement and report timing
+    repro bench      forward to the benchmark runner (tables/figures)
+    repro resume     continue a checkpointed run directory
+    repro trace-view summarize a Chrome trace produced by --trace
 
 Examples::
 
-    python -m repro --circuit tseng --scale 0.08 --algorithm lex-3 --route
-    python -m repro --blif design.blif --algorithm rt \\
-        --out-blif out.blif --out-placement out.place.json
+    python -m repro run --circuit tseng --scale 0.08 --algorithm lex-3 --route
+    python -m repro run --circuit tseng --run-dir runs/t1 --trace \\
+        --checkpoint-every 2
+    python -m repro resume runs/t1
+    python -m repro trace-view runs/t1/trace.json
+    python -m repro bench table2 --scale 0.08 --algorithms rt,lex-3
+
+The pre-1.1 flat form (``python -m repro --circuit tseng ...``) still
+works: it is rewritten to ``run`` with a deprecation notice on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 
-from repro.arch.fpga import FpgaArch
-from repro.bench.runner import replication_config
-from repro.bench.suite import SPEC_BY_NAME, suite_circuit
-from repro.core.flow import optimize_replication
-from repro.netlist.blif import read_blif, write_blif
-from repro.netlist.validate import validate_netlist
+from repro import api
+from repro.bench.suite import SPEC_BY_NAME
+from repro.core.checkpoint import CheckpointError
+from repro.core.config import RunConfig
 from repro.perf import PERF
-from repro.place.serialize import placement_from_json, placement_to_json
-from repro.place.timing_driven import place_timing_driven
-from repro.route.metrics import route_infinite, route_low_stress, routed_critical_delay
-from repro.timing.sta import analyze
+from repro.trace import summarize_trace
 from repro.viz import render_history, render_placement
 
+LEGACY_NOTICE = (
+    "repro: flat flags are deprecated; use 'python -m repro run ...' "
+    "(rewriting to the 'run' subcommand)"
+)
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Placement-coupled logic replication flow "
-        "(Hrkic/Lillis/Beraudo, DAC'04).",
-    )
+
+# ----------------------------------------------------------------------
+# Parsers
+# ----------------------------------------------------------------------
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--blif", type=Path, help="input BLIF netlist")
     source.add_argument(
@@ -55,120 +59,248 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suite-circuit scale (with --circuit)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--place-effort", type=float, default=0.3,
-                        help="annealer inner_num scale")
-    parser.add_argument(
+                        dest="place_effort", help="annealer inner_num scale")
+    parser.add_argument("--in-placement", type=Path,
+                        help="start from a saved placement instead of SA")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Placement-coupled logic replication flow "
+        "(Hrkic/Lillis/Beraudo, DAC'04).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="place -> replicate -> (route)")
+    _add_input_arguments(run)
+    run.add_argument(
         "--algorithm",
         default="rt",
         help="replication variant: rt, lex-2..lex-5, lex-mc, or 'none'",
     )
-    parser.add_argument("--effort", type=float, default=1.0,
-                        help="replication-flow effort dial")
-    parser.add_argument("--batch-sinks", type=int, default=1,
-                        help="tied critical endpoints embedded per iteration "
-                        "(1 = paper's one-sink loop)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for batched embeddings "
-                        "(results are bit-identical for any value)")
-    parser.add_argument("--perf", action="store_true",
-                        help="print perf counters/timers after the flow")
-    parser.add_argument("--route", action="store_true",
-                        help="run low-stress + infinite routing at the end")
-    parser.add_argument("--route-jobs", type=int, default=1,
-                        help="worker processes for W-infinity routing "
-                        "(results are bit-identical for any value)")
-    parser.add_argument("--in-placement", type=Path,
-                        help="start from a saved placement instead of SA")
-    parser.add_argument("--out-blif", type=Path)
-    parser.add_argument("--out-placement", type=Path)
-    parser.add_argument("--draw", action="store_true",
-                        help="print the placement grid before/after")
+    run.add_argument("--effort", type=float, default=1.0,
+                     help="replication-flow effort dial")
+    run.add_argument("--batch-sinks", type=int, default=1, dest="batch_sinks",
+                     help="tied critical endpoints embedded per iteration "
+                     "(1 = paper's one-sink loop)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for batched embeddings "
+                     "(results are bit-identical for any value)")
+    run.add_argument("--perf", action="store_true",
+                     help="print perf counters/timers after the flow")
+    run.add_argument("--route", action="store_true",
+                     help="run low-stress + infinite routing at the end")
+    run.add_argument("--route-jobs", type=int, default=1, dest="route_jobs",
+                     help="worker processes for W-infinity routing "
+                     "(results are bit-identical for any value)")
+    run.add_argument("--run-dir", type=Path,
+                     help="run directory: journal.jsonl, checkpoint.json, "
+                     "trace.json, result.json")
+    run.add_argument("--trace", nargs="?", const=True, default=False,
+                     metavar="FILE",
+                     help="write a Chrome trace (default: run-dir/trace.json)")
+    run.add_argument("--checkpoint-every", type=int, default=0,
+                     dest="checkpoint_every", metavar="N",
+                     help="checkpoint the flow every N iterations "
+                     "(needs --run-dir)")
+    run.add_argument("--out-blif", type=Path)
+    run.add_argument("--out-placement", type=Path)
+    run.add_argument("--draw", action="store_true",
+                     help="print the placement grid before/after")
+    run.set_defaults(func=cmd_run)
+
+    route = sub.add_parser("route", help="route a placement, report timing")
+    _add_input_arguments(route)
+    route.add_argument("--route-jobs", type=int, default=1, dest="route_jobs")
+    route.set_defaults(func=cmd_route)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark runner (tables/figures); args forwarded verbatim",
+        add_help=False,
+    )
+    bench.add_argument("bench_args", nargs=argparse.REMAINDER)
+    bench.set_defaults(func=cmd_bench)
+
+    resume = sub.add_parser("resume", help="continue a checkpointed run")
+    resume.add_argument("run_dir", type=Path)
+    resume.add_argument("--trace", nargs="?", const=True, default=False,
+                        metavar="FILE",
+                        help="trace the continuation (default: "
+                        "run-dir/trace.json)")
+    resume.set_defaults(func=cmd_resume)
+
+    view = sub.add_parser("trace-view", help="summarize a Chrome trace")
+    view.add_argument("trace_file", type=Path)
+    view.add_argument("--limit", type=int, default=20,
+                      help="show the top N spans by total time")
+    view.set_defaults(func=cmd_trace_view)
+
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
 
+
+def _load_and_place(args) -> tuple[api.Design, api.PlaceResult]:
     if args.blif is not None:
-        netlist = read_blif(args.blif.read_text())
-        arch = FpgaArch.min_square_for(netlist.num_logic_blocks, netlist.num_pads)
-        print(f"read {args.blif}: {netlist.num_logic_blocks} logic blocks, "
-              f"{netlist.num_pads} pads -> {arch} FPGA")
+        design = api.load_design(blif=args.blif)
+        print(f"read {args.blif}: {design.netlist.num_logic_blocks} logic "
+              f"blocks, {design.netlist.num_pads} pads -> {design.arch} FPGA")
     else:
-        netlist, arch = suite_circuit(args.circuit, scale=args.scale)
+        design = api.load_design(circuit=args.circuit, scale=args.scale)
         print(f"generated {args.circuit} @ scale {args.scale:g}: "
-              f"{netlist.num_logic_blocks} logic blocks on {arch}")
-    validate_netlist(netlist)
+              f"{design.netlist.num_logic_blocks} logic blocks on {design.arch}")
 
+    placed = api.place(
+        design,
+        seed=args.seed,
+        effort=args.place_effort,
+        placement_json=args.in_placement,
+    )
     if args.in_placement is not None:
-        placement = placement_from_json(
-            netlist, args.in_placement.read_text(), arch=arch
-        )
-        placement.assert_complete(netlist)
         print(f"loaded placement from {args.in_placement}")
     else:
-        start = time.perf_counter()
-        placement, stats = place_timing_driven(
-            netlist, arch, seed=args.seed, inner_scale=args.place_effort
-        )
-        print(f"placed in {time.perf_counter() - start:.1f}s "
-              f"({stats.moves_accepted} accepted moves)")
+        print(f"placed in {placed.seconds:.1f}s "
+              f"({placed.moves_accepted} accepted moves)")
+    print(f"placement-level critical delay: {placed.critical_delay:.2f}")
+    return design, placed
 
-    before = analyze(netlist, placement).critical_delay
-    print(f"placement-level critical delay: {before:.2f}")
+
+def cmd_run(args) -> int:
+    config = RunConfig.from_args(args)
+    design, placed = _load_and_place(args)
+    placement = placed.placement
     if args.draw:
-        print(render_placement(netlist, placement))
+        print(render_placement(design.netlist, placement))
+
+    if args.run_dir is not None:
+        args.run_dir.mkdir(parents=True, exist_ok=True)
+        (args.run_dir / api.CONFIG_FILE).write_text(
+            json.dumps(config.to_dict(), indent=2) + "\n"
+        )
 
     if args.algorithm != "none":
         if args.perf:
             PERF.reset()
             PERF.enable()
-        start = time.perf_counter()
-        result = optimize_replication(
-            netlist,
+        result = api.optimize(
+            design,
             placement,
-            replication_config(
-                args.algorithm,
-                args.effort,
-                batch_sinks=args.batch_sinks,
-                jobs=args.jobs,
-            ),
+            config=config,
+            run_dir=args.run_dir,
+            trace=args.trace,
+            checkpoint_every=args.checkpoint_every,
         )
         print(
-            f"replication ({args.algorithm}) in {time.perf_counter() - start:.1f}s: "
+            f"replication ({args.algorithm}) in {result.seconds:.1f}s: "
             f"{result.initial_delay:.2f} -> {result.final_delay:.2f} "
-            f"({result.improvement:.1%}; {result.total_replicated} replicated, "
-            f"{result.total_unified} unified, {len(result.history)} iterations)"
+            f"({result.improvement:.1%}; {result.replicated} replicated, "
+            f"{result.unified} unified, {len(result.iterations)} iterations)"
         )
-        print(render_history(result.history))
-        validate_netlist(netlist)
+        print(render_history(result.iterations))
+        if args.run_dir is not None:
+            print(f"run artifacts in {args.run_dir}")
         if args.draw:
-            print(render_placement(netlist, placement))
+            print(render_placement(design.netlist, placement))
 
     if args.route:
         if args.perf and not PERF.enabled:
             PERF.reset()
             PERF.enable()
-        low = route_low_stress(netlist, placement)
-        infinite = route_infinite(netlist, placement, jobs=args.route_jobs)
-        w_ls = routed_critical_delay(netlist, placement, low)
-        w_inf = routed_critical_delay(netlist, placement, infinite)
-        print(
-            f"routed: W_inf {w_inf.critical_delay:.2f}  "
-            f"W_ls {w_ls.critical_delay:.2f} (W={low.channel_width:g})  "
-            f"wire {w_ls.wirelength}"
-        )
+        _print_routing(api.route(design, placement, jobs=args.route_jobs))
 
     if args.perf and PERF.enabled:
         PERF.disable()
         print(PERF.format())
 
+    api.write_outputs(
+        design,
+        placement,
+        out_blif=args.out_blif,
+        out_placement=args.out_placement,
+    )
     if args.out_blif is not None:
-        args.out_blif.write_text(write_blif(netlist))
         print(f"wrote {args.out_blif}")
     if args.out_placement is not None:
-        args.out_placement.write_text(placement_to_json(netlist, placement))
         print(f"wrote {args.out_placement}")
     return 0
+
+
+def cmd_route(args) -> int:
+    design, placed = _load_and_place(args)
+    _print_routing(api.route(design, placed.placement, jobs=args.route_jobs))
+    return 0
+
+
+def _print_routing(routed: api.RouteResult) -> None:
+    print(
+        f"routed: W_inf {routed.w_inf:.2f}  "
+        f"W_ls {routed.w_ls:.2f} (W={routed.channel_width:g})  "
+        f"wire {routed.wirelength}"
+    )
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.runner import main as bench_main
+
+    return bench_main(args.bench_args)
+
+
+def cmd_resume(args) -> int:
+    try:
+        result = api.resume(args.run_dir, trace=args.trace)
+    except CheckpointError as exc:
+        print(f"repro resume: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"resumed {args.run_dir} in {result.seconds:.1f}s: "
+        f"{result.initial_delay:.2f} -> {result.final_delay:.2f} "
+        f"({result.improvement:.1%}; {result.replicated} replicated, "
+        f"{result.unified} unified, {len(result.iterations)} iterations)"
+    )
+    print(render_history(result.iterations))
+    return 0
+
+
+def cmd_trace_view(args) -> int:
+    try:
+        trace = json.loads(args.trace_file.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro trace-view: cannot read {args.trace_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    rows = summarize_trace(trace)
+    if not rows:
+        print("(no complete spans in trace)")
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    print(f"{'span':<{width}}  {'count':>6}  {'total ms':>10}  "
+          f"{'avg ms':>9}  {'max ms':>9}")
+    for row in rows[: args.limit]:
+        print(f"{row['name']:<{width}}  {row['count']:>6}  "
+              f"{row['total_ms']:>10.2f}  {row['avg_ms']:>9.3f}  "
+              f"{row['max_ms']:>9.3f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point (with the pre-subcommand compatibility shim)
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        # Pre-1.1 flat invocation: python -m repro --circuit tseng ...
+        print(LEGACY_NOTICE, file=sys.stderr)
+        argv = ["run", *argv]
+    args = build_parser().parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main

@@ -1,6 +1,7 @@
 """Core contribution: fanin-tree embedding and the replication tree."""
 
-from repro.core.config import ReplicationConfig
+from repro.core.checkpoint import Checkpointer, FlowState, load_checkpoint
+from repro.core.config import ReplicationConfig, RunConfig
 from repro.core.embedder import (
     EmbedderOptions,
     EmbeddingResult,
@@ -37,6 +38,7 @@ from repro.core.solutions import (
     StaircaseFront,
     make_front,
 )
+from repro.core.journal import FlowJournal, iteration_entries, read_journal
 from repro.core.topology import FaninTree, TreeNode
 from repro.core.unification import UnificationResult, postprocess_unification
 
@@ -44,6 +46,7 @@ __all__ = [
     "ApplyResult",
     "BLOCKED",
     "BitAwareFront",
+    "Checkpointer",
     "DelayScheme",
     "Edge",
     "EmbedderOptions",
@@ -51,6 +54,8 @@ __all__ = [
     "EmbeddingResult",
     "FaninTree",
     "FaninTreeEmbedder",
+    "FlowJournal",
+    "FlowState",
     "GridEmbeddingGraph",
     "IterationRecord",
     "Label",
@@ -64,15 +69,19 @@ __all__ = [
     "ReplicationConfig",
     "ReplicationOptimizer",
     "ReplicationTreeInfo",
+    "RunConfig",
     "StaircaseFront",
     "TreeNode",
     "UnificationResult",
     "apply_embedding",
     "build_replication_tree",
+    "iteration_entries",
+    "load_checkpoint",
     "make_front",
     "make_placement_cost",
     "optimize_replication",
     "postprocess_unification",
+    "read_journal",
     "scheme_by_name",
     "select_tree_cells",
     "zero_placement_cost",

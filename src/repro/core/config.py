@@ -1,10 +1,21 @@
-"""Configuration for the replication optimization flow (Sections IV-VI)."""
+"""Configuration for the replication optimization flow (Sections IV-VI).
+
+Two layers:
+
+* :class:`ReplicationConfig` — the *algorithm* knobs of the optimizer
+  loop (ε growth, tree caps, cost model, batching).  Serializable via
+  :meth:`to_dict`/:meth:`from_dict`; the dict's hash keys checkpoints.
+* :class:`RunConfig` — the *execution* knobs of one end-to-end run
+  (which circuit, placement effort, worker counts, routing), shared by
+  the CLI, the :mod:`repro.api` facade and the benchmark runner so the
+  flag surface cannot drift between them again.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
-from repro.core.signatures import DelayScheme, MaxArrivalScheme
+from repro.core.signatures import DelayScheme, MaxArrivalScheme, scheme_by_name
 
 
 @dataclass
@@ -91,3 +102,113 @@ class ReplicationConfig:
     batch_sinks: int = 1
     jobs: int = 1
     seed: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; the scheme is stored by its canonical key.
+
+        The sorted-key JSON encoding of this dict is what the checkpoint
+        config hash is computed over, so resuming under a different
+        config is detectable.
+        """
+        data = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = scheme_key(value) if spec.name == "scheme" else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplicationConfig":
+        kwargs = dict(data)
+        kwargs["scheme"] = scheme_by_name(kwargs["scheme"])
+        return cls(**kwargs)
+
+
+def scheme_key(scheme: DelayScheme) -> str:
+    """Canonical string for a scheme, invertible by ``scheme_by_name``."""
+    from repro.core.signatures import ElmoreScheme, LexMcScheme, LexScheme
+
+    if type(scheme) is MaxArrivalScheme:
+        return "rt"
+    if type(scheme) is LexMcScheme:
+        return "lex-mc"
+    if type(scheme) is LexScheme:
+        return f"lex-{scheme.order}"
+    if type(scheme) is ElmoreScheme:
+        return "elmore"
+    raise ValueError(f"scheme {type(scheme).__name__} has no canonical key")
+
+
+@dataclass
+class RunConfig:
+    """Execution-level knobs of one end-to-end run.
+
+    Attributes:
+        circuit: Suite-circuit name (mutually exclusive with ``blif``).
+        blif: Path of an input BLIF netlist.
+        scale: Suite-circuit scale (1.0 = full Table I sizes).
+        seed: Placement seed.
+        place_effort: Annealer ``inner_num`` scale.
+        algorithm: Replication variant key (``rt``, ``lex-N``, ``lex-mc``
+            or ``none`` to skip replication).
+        effort: Replication-flow effort dial (scales iteration budget,
+            patience and tree caps together).
+        batch_sinks: Tied critical endpoints embedded per iteration.
+        jobs: Worker processes for batched embeddings.
+        route: Run low-stress + infinite routing at the end.
+        route_jobs: Worker processes for W-infinity routing.
+        checkpoint_every: Checkpoint the flow every N iterations
+            (0 = disabled; needs a run directory).
+    """
+
+    circuit: str | None = None
+    blif: str | None = None
+    scale: float = 0.08
+    seed: int = 0
+    place_effort: float = 0.3
+    algorithm: str = "rt"
+    effort: float = 1.0
+    batch_sinks: int = 1
+    jobs: int = 1
+    route: bool = False
+    route_jobs: int = 1
+    checkpoint_every: int = 0
+
+    @classmethod
+    def from_args(cls, args) -> "RunConfig":
+        """Build from an ``argparse`` namespace (missing attrs default)."""
+        defaults = cls()
+        kwargs = {}
+        for spec in fields(cls):
+            value = getattr(args, spec.name, None)
+            if value is None:
+                value = getattr(defaults, spec.name)
+            kwargs[spec.name] = value
+        if kwargs["blif"] is not None:
+            kwargs["blif"] = str(kwargs["blif"])
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        return cls(**data)
+
+    def replication_config(self) -> ReplicationConfig:
+        """The :class:`ReplicationConfig` this run's dials map to.
+
+        This is the single algorithm-key/effort mapping; the CLI and the
+        benchmark runner both resolve their flags through it.
+        """
+        algorithm = self.algorithm
+        scheme = scheme_by_name("rt" if algorithm == "rt" else algorithm)
+        return ReplicationConfig(
+            scheme=scheme,
+            max_iterations=max(6, int(40 * self.effort)),
+            patience=max(2, int(6 * self.effort)),
+            max_tree_nodes=max(12, int(48 * self.effort)),
+            max_labels_per_vertex=6,
+            batch_sinks=self.batch_sinks,
+            jobs=self.jobs,
+            seed=self.seed,
+        )

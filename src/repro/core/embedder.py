@@ -198,27 +198,28 @@ class FaninTreeEmbedder:
 
     def embed(self, tree: FaninTree) -> EmbeddingResult:
         tree.validate()
-        fronts: dict[int, dict[int, ParetoFront]] = {}
-        root = tree.root
-        touched = 0
-        for node in tree.postorder():
-            if node.index == root.index:
-                continue
-            if node.is_leaf:
-                branch = self._compute_initial(node)
-            else:
-                branch = self._join_tree(node, fronts)
-            node_fronts = self._gen_dijkstra(node, branch)
-            fronts[node.index] = node_fronts
-            # Accumulate the diagnostic during the walk: children fronts
-            # are dropped right below, so a post-hoc sum would only see
-            # the surviving (root-adjacent) fronts.  Every materialized
-            # front holds at least one label (creation and first insert
-            # are fused in the wavefront loop), so the count is the size.
-            touched += len(node_fronts)
-            for child in node.children:
-                fronts.pop(child, None)  # children fronts no longer needed
-        root_front, root_candidates = self._augment_root(root, fronts)
+        with PERF.timer("embed.tree"):
+            fronts: dict[int, dict[int, ParetoFront]] = {}
+            root = tree.root
+            touched = 0
+            for node in tree.postorder():
+                if node.index == root.index:
+                    continue
+                if node.is_leaf:
+                    branch = self._compute_initial(node)
+                else:
+                    branch = self._join_tree(node, fronts)
+                node_fronts = self._gen_dijkstra(node, branch)
+                fronts[node.index] = node_fronts
+                # Accumulate the diagnostic during the walk: children fronts
+                # are dropped right below, so a post-hoc sum would only see
+                # the surviving (root-adjacent) fronts.  Every materialized
+                # front holds at least one label (creation and first insert
+                # are fused in the wavefront loop), so the count is the size.
+                touched += len(node_fronts)
+                for child in node.children:
+                    fronts.pop(child, None)  # children fronts no longer needed
+            root_front, root_candidates = self._augment_root(root, fronts)
         return EmbeddingResult(
             tree=tree,
             scheme=self.scheme,

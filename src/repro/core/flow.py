@@ -19,9 +19,11 @@ VI:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.checkpoint import FlowState
 from repro.core.config import ReplicationConfig
 from repro.core.embedder import EmbedderOptions, FaninTreeEmbedder
 from repro.core.embedding_graph import GridEmbeddingGraph
@@ -42,6 +44,7 @@ from repro.timing.bounds import delay_lower_bound
 from repro.timing.incremental import IncrementalSTA
 from repro.timing.spt import build_spt
 from repro.timing.sta import Endpoint, analyze
+from repro.trace import TRACER
 
 
 @dataclass
@@ -96,12 +99,36 @@ class OptimizationResult:
         return 1.0 - self.final_delay / self.initial_delay
 
     @property
+    def iterations(self) -> list[IterationRecord]:
+        """Alias for :attr:`history` (the journal mirrors these records)."""
+        return self.history
+
+    @property
     def total_replicated(self) -> int:
         return self.history[-1].replicated_cum if self.history else 0
 
     @property
     def total_unified(self) -> int:
         return self.history[-1].unified_cum if self.history else 0
+
+
+@dataclass
+class _MutableLoopState:
+    """Loop-carried bookkeeping, shared between ``run`` and ``_loop``.
+
+    One mutable object instead of a tuple of locals so the crash path and
+    the checkpointer both see the state exactly as the loop left it.
+    """
+
+    last_sink: Endpoint | None
+    last_improved: bool
+    no_improve: int
+    replicated_cum: int
+    unified_cum: int
+    initial_delay: float
+    best_delay: float
+    best_netlist: Netlist
+    best_placement: Placement
 
 
 def _embed_for_sink(
@@ -202,6 +229,9 @@ class ReplicationOptimizer:
         self.config = config if config is not None else ReplicationConfig()
         self._sta: IncrementalSTA | None = None
         self._pool: ProcessPoolExecutor | None = None
+        #: Per-iteration observability extras (tree size, embedding-front
+        #: size, legalizer work) gathered by the helpers and journaled.
+        self._iter_stats: dict = {}
         self.graph = GridEmbeddingGraph(
             placement.arch,
             wire_cost_per_unit=self.config.wire_cost_per_unit,
@@ -212,7 +242,26 @@ class ReplicationOptimizer:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self) -> OptimizationResult:
+    def run(
+        self,
+        *,
+        journal=None,
+        checkpointer=None,
+        resume_state: FlowState | None = None,
+    ) -> OptimizationResult:
+        """Run the loop; optionally journal, checkpoint, and/or resume.
+
+        Args:
+            journal: A :class:`repro.core.journal.FlowJournal` (or
+                anything with ``event``/``iteration``) receiving one
+                flushed JSONL entry per iteration.
+            checkpointer: A :class:`repro.core.checkpoint.Checkpointer`;
+                the full flow state is saved after every N-th completed
+                iteration, so a killed run restarts mid-loop.
+            resume_state: A restored :class:`FlowState` — the loop
+                re-enters at ``resume_state.iteration + 1`` and the
+                continuation is bit-identical to the uninterrupted run.
+        """
         config = self.config
         # One incremental STA engine serves the whole run: it tracks
         # every replicate/rewire/unify/move through listener events and
@@ -220,32 +269,146 @@ class ReplicationOptimizer:
         sta = self._sta = IncrementalSTA(self.netlist, self.placement)
         with PERF.timer("flow.sta"):
             analysis = sta.analysis()
-        initial_delay = analysis.critical_delay
-        best_delay = initial_delay
-        best_netlist = self.netlist.clone()
-        best_placement = self.placement.copy()
-
-        history: list[IterationRecord] = []
-        epsilon: dict[Endpoint, float] = {}
-        last_sink: Endpoint | None = None
-        last_improved = True
-        no_improve = 0
-        replicated_cum = 0
-        unified_cum = 0
+        if resume_state is not None:
+            initial_delay = resume_state.initial_delay
+            best_delay = resume_state.best_delay
+            best_netlist = resume_state.best_netlist
+            best_placement = resume_state.best_placement
+            history = list(resume_state.history)
+            epsilon = dict(resume_state.epsilon)
+            last_sink = resume_state.last_sink
+            last_improved = resume_state.last_improved
+            no_improve = resume_state.no_improve
+            replicated_cum = resume_state.replicated_cum
+            unified_cum = resume_state.unified_cum
+            start_iteration = resume_state.iteration + 1
+        else:
+            initial_delay = analysis.critical_delay
+            best_delay = initial_delay
+            best_netlist = self.netlist.clone()
+            best_placement = self.placement.copy()
+            history = []
+            epsilon = {}
+            last_sink = None
+            last_improved = True
+            no_improve = 0
+            replicated_cum = 0
+            unified_cum = 0
+            start_iteration = 0
         terminated_early = False
 
-        for iteration in range(config.max_iterations):
+        if journal is not None:
+            journal.event(
+                "start",
+                initial_delay=initial_delay,
+                iteration=start_iteration,
+                resumed=resume_state is not None,
+                cells=self.netlist.num_cells,
+                max_iterations=config.max_iterations,
+            )
+
+        try:
+            terminated_early = self._loop(
+                sta=sta,
+                journal=journal,
+                checkpointer=checkpointer,
+                start_iteration=start_iteration,
+                history=history,
+                epsilon=epsilon,
+                state=_MutableLoopState(
+                    last_sink=last_sink,
+                    last_improved=last_improved,
+                    no_improve=no_improve,
+                    replicated_cum=replicated_cum,
+                    unified_cum=unified_cum,
+                    initial_delay=initial_delay,
+                    best_delay=best_delay,
+                    best_netlist=best_netlist,
+                    best_placement=best_placement,
+                ),
+            )
+        except BaseException as exc:
+            # Crash path: leave readable artifacts behind.  The journal
+            # line is flushed before re-raising, and the STA/pool are
+            # detached so the caller's netlist is not left with stale
+            # listeners.
+            if journal is not None:
+                journal.event("crash", error=repr(exc))
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+            sta.detach()
+            self._sta = None
+            raise
+
+        state = self._last_state
+        best_netlist = state.best_netlist
+        best_placement = state.best_placement
+        best_delay = state.best_delay
+
+        # Hand back the best snapshot (Section V-D: "we save the best
+        # solution seen ... so that we can always report the best").
+        # Detach the engine first: the optimizer's netlist/placement
+        # references are about to be swapped out from under it.
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        sta.detach()
+        self._sta = None
+        self.netlist = best_netlist
+        self.placement = best_placement
+        result = OptimizationResult(
+            netlist=best_netlist,
+            placement=best_placement,
+            initial_delay=initial_delay,
+            final_delay=best_delay,
+            history=history,
+            terminated_early=terminated_early,
+        )
+        if journal is not None:
+            journal.event(
+                "result",
+                initial_delay=result.initial_delay,
+                final_delay=result.final_delay,
+                improvement=result.improvement,
+                iterations=len(result.history),
+                replicated=result.total_replicated,
+                unified=result.total_unified,
+                terminated_early=result.terminated_early,
+            )
+        return result
+
+    def _loop(
+        self,
+        *,
+        sta,
+        journal,
+        checkpointer,
+        start_iteration: int,
+        history: list[IterationRecord],
+        epsilon: dict[Endpoint, float],
+        state: "_MutableLoopState",
+    ) -> bool:
+        """The iteration loop proper; returns ``terminated_early``."""
+        config = self.config
+        self._last_state = state
+        terminated_early = False
+        for iteration in range(start_iteration, config.max_iterations):
+            iter_start = time.perf_counter()
+            self._iter_stats = {}
             with PERF.timer("flow.sta"):
                 analysis = sta.analysis()
             delay_before = analysis.critical_delay
             sink = analysis.critical_endpoint
             if sink is None:
                 break
+            if TRACER.enabled:
+                TRACER.begin("flow.iteration", iteration=iteration)
 
             relocate_ff = (
                 config.allow_ff_relocation
-                and sink == last_sink
-                and not last_improved
+                and sink == state.last_sink
+                and not state.last_improved
                 and self.netlist.cells[sink[0]].is_ff
             )
 
@@ -263,6 +426,13 @@ class ReplicationOptimizer:
                 with PERF.timer("flow.embed"):
                     payloads = self._embed_batch(batch, analysis, epsilon)
                 applied = [p for p in payloads if p is not None]
+                self._iter_stats["tree_nodes"] = sum(
+                    len(info.tree) for info, _p in applied
+                )
+                self._iter_stats["tree_movable"] = sum(
+                    info.num_movable for info, _p in applied
+                )
+                self._iter_stats["embed_candidates"] = len(applied)
                 if not applied:
                     note = "no embedding"
                 else:
@@ -295,6 +465,8 @@ class ReplicationOptimizer:
                 if info is None or info.num_movable == 0:
                     note = "trivial tree"
                 else:
+                    self._iter_stats["tree_nodes"] = len(info.tree)
+                    self._iter_stats["tree_movable"] = info.num_movable
                     snapshot_nl = self.netlist.clone()
                     snapshot_pl = self.placement.copy()
                     with PERF.timer("flow.embed"):
@@ -327,12 +499,14 @@ class ReplicationOptimizer:
             sink_arrival_after = analysis.endpoint_arrival.get(
                 sink, sink_arrival_before
             )
-            replicated_cum += replicated
+            state.replicated_cum += replicated
             # Fig. 14 semantics: "unified" counts copies that were created
             # and later merged away, i.e. creations minus copies alive.
             net_alive = EquivalenceIndex(self.netlist).total_replicas()
-            unified_cum = max(unified_cum, max(0, replicated_cum - net_alive))
-            unified = unified_cum - (
+            state.unified_cum = max(
+                state.unified_cum, max(0, state.replicated_cum - net_alive)
+            )
+            unified = state.unified_cum - (
                 history[-1].unified_cum if history else 0
             )
             record = IterationRecord(
@@ -343,8 +517,8 @@ class ReplicationOptimizer:
                 delay_after=delay_after,
                 replicated=replicated,
                 unified=unified,
-                replicated_cum=replicated_cum,
-                unified_cum=unified_cum,
+                replicated_cum=state.replicated_cum,
+                unified_cum=state.unified_cum,
                 ff_relocated=relocate_ff,
                 note=note,
                 sink_improved=(
@@ -353,44 +527,63 @@ class ReplicationOptimizer:
                 ),
             )
             history.append(record)
+            if TRACER.enabled:
+                TRACER.end(
+                    sink=list(sink),
+                    note=note,
+                    delay_before=delay_before,
+                    delay_after=delay_after,
+                    replicated=replicated,
+                    unified=unified,
+                )
+            if journal is not None:
+                journal.iteration(
+                    record,
+                    wall_seconds=round(time.perf_counter() - iter_start, 6),
+                    **self._iter_stats,
+                )
 
-            if delay_after < best_delay - 1e-9:
-                best_delay = delay_after
-                best_netlist = self.netlist.clone()
-                best_placement = self.placement.copy()
+            if delay_after < state.best_delay - 1e-9:
+                state.best_delay = delay_after
+                state.best_netlist = self.netlist.clone()
+                state.best_placement = self.placement.copy()
 
-            last_improved = record.progressed
-            last_sink = sink
+            state.last_improved = record.progressed
+            state.last_sink = sink
             if record.progressed:
-                no_improve = 0
+                state.no_improve = 0
             else:
-                no_improve += 1
+                state.no_improve += 1
                 epsilon[sink] = eps + config.epsilon_step_fraction * delay_before
-                if no_improve > config.patience:
+                if state.no_improve > config.patience:
                     break
             if not self.placement.free_logic_slots() and not self.placement.is_legal():
                 terminated_early = True  # out of slots for replication
                 break
 
-        # Hand back the best snapshot (Section V-D: "we save the best
-        # solution seen ... so that we can always report the best").
-        # Detach the engine first: the optimizer's netlist/placement
-        # references are about to be swapped out from under it.
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        sta.detach()
-        self._sta = None
-        self.netlist = best_netlist
-        self.placement = best_placement
-        return OptimizationResult(
-            netlist=best_netlist,
-            placement=best_placement,
-            initial_delay=initial_delay,
-            final_delay=best_delay,
-            history=history,
-            terminated_early=terminated_early,
-        )
+            if checkpointer is not None and checkpointer.due(iteration):
+                with PERF.timer("flow.checkpoint"):
+                    checkpointer.save(
+                        FlowState(
+                            iteration=iteration,
+                            epsilon=epsilon,
+                            last_sink=state.last_sink,
+                            last_improved=state.last_improved,
+                            no_improve=state.no_improve,
+                            replicated_cum=state.replicated_cum,
+                            unified_cum=state.unified_cum,
+                            initial_delay=state.initial_delay,
+                            best_delay=state.best_delay,
+                            history=history,
+                            netlist=self.netlist,
+                            placement=self.placement,
+                            best_netlist=state.best_netlist,
+                            best_placement=state.best_placement,
+                        )
+                    )
+                if journal is not None:
+                    journal.event("checkpoint", iteration=iteration)
+        return terminated_early
 
     # ------------------------------------------------------------------
     # Pieces
@@ -418,6 +611,7 @@ class ReplicationOptimizer:
             self.graph, scheme=config.scheme, placement_cost=cost_fn, options=options
         )
         result = embedder.embed(info.tree)
+        self._iter_stats["embed_candidates"] = len(result.root_front)
         if not len(result.root_front):
             return None
         if relocate_ff:
@@ -518,6 +712,11 @@ class ReplicationOptimizer:
         )
         with PERF.timer("flow.legalize"):
             legal = legalizer.legalize()
+        stats = self._iter_stats
+        stats["legalizer_moves"] = stats.get("legalizer_moves", 0) + legal.ripple_moves
+        stats["legalizer_displacement"] = (
+            stats.get("legalizer_displacement", 0) + legal.displacement
+        )
         return len(unify.retired) + len(unify.deleted) + len(legal.unifications)
 
     # ------------------------------------------------------------------
@@ -645,19 +844,17 @@ def optimize_replication(
 
 
 def _copy_netlist_into(source: Netlist, target: Netlist) -> None:
-    clone = source.clone()
-    target.cells = clone.cells
-    target.nets = clone.nets
-    target._next_cell_id = clone._next_cell_id
-    target._next_net_id = clone._next_net_id
-    target._names = clone._names
-    # Rollbacks bypass the per-edit listener hooks, so any attached
-    # incremental STA must be told its whole world changed.
-    target.notify_bulk()
+    # Delegates to assign_from so every field travels — an earlier local
+    # copy here silently dropped ``name``, which broke round-tripping a
+    # rolled-back netlist through the checkpoint serializer.
+    target.assign_from(source)
 
 
 def _copy_placement_into(source: Placement, target: Placement) -> None:
     copy = source.copy()
+    target.arch = copy.arch
     target._slot_of = copy._slot_of
     target._cells_at = copy._cells_at
+    # Rollbacks bypass the per-edit listener hooks, so any attached
+    # incremental STA must be told its whole world changed.
     target.notify_bulk()

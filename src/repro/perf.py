@@ -39,10 +39,14 @@ class PerfRegistry:
     registry itself never needs locking on the hot path.
     """
 
-    __slots__ = ("enabled", "_counters", "_timers")
+    __slots__ = ("enabled", "tracer", "_counters", "_timers")
 
     def __init__(self) -> None:
         self.enabled = False
+        #: Optional :class:`repro.trace.SpanTracer`; when set, every
+        #: :meth:`timer` block also emits a trace span (the tracer layers
+        #: on the registry's call sites instead of duplicating them).
+        self.tracer = None
         self._counters: dict[str, int] = defaultdict(int)
         self._timers: dict[str, float] = defaultdict(float)
 
@@ -83,14 +87,20 @@ class PerfRegistry:
 
         No-op (but still a valid context manager) when disabled.
         """
-        if not self.enabled:
+        tracer = self.tracer
+        if not self.enabled and tracer is None:
             yield
             return
+        if tracer is not None:
+            tracer.begin(name)
         start = time.perf_counter()
         try:
             yield
         finally:
-            self._timers[name] += time.perf_counter() - start
+            if self.enabled:
+                self._timers[name] += time.perf_counter() - start
+            if tracer is not None:
+                tracer.end()
 
     # -- reporting -----------------------------------------------------
 

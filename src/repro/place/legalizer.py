@@ -36,6 +36,9 @@ class LegalizeResult:
 
     resolved_overlaps: int = 0
     ripple_moves: int = 0
+    #: Total Manhattan distance the moved cells travelled (observability:
+    #: the flow journal reports it per iteration as legalizer churn).
+    displacement: int = 0
     unifications: list[tuple[int, int]] = field(default_factory=list)
     success: bool = True
 
@@ -390,6 +393,9 @@ class TimingDrivenLegalizer:
         self._cost_cache.clear()
         self._worst_cache.clear()
         for cell_id, slot in moves:
+            result.displacement += arch.distance(
+                self.placement.slot_of(cell_id), slot
+            )
             self.placement.place(self.netlist.cells[cell_id], slot)
             result.ripple_moves += 1
         return True
@@ -455,6 +461,9 @@ class TimingDrivenLegalizer:
             # touches: both memo caches are stale from here on.
             self._cost_cache.clear()
             self._worst_cache.clear()
+            result.displacement += self.placement.arch.distance(
+                self.placement.slot_of(moving), slot
+            )
             self.placement.place(cell, slot)
             result.ripple_moves += 1
             if next_moving is None:

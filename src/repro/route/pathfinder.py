@@ -664,18 +664,19 @@ def _route_design_fast(
                 if any(over_flag[s] for s in seg_routes[item[0]])
             ]
             ripped += len(targets)
-        for net_id, src, sink_ids, crit_ids in targets:
-            old = seg_routes.get(net_id)
-            if old is not None:
-                for s in old:
-                    ig.release(s)
-            segs = _route_net_fast(
-                ig, state, net_id, src, sink_ids, pres, crit_ids, exact
-            )
-            seg_routes[net_id] = segs
-            routed += 1
-            for s in segs:
-                ig.occupy(s)
+        with PERF.timer("route.negotiate"):
+            for net_id, src, sink_ids, crit_ids in targets:
+                old = seg_routes.get(net_id)
+                if old is not None:
+                    for s in old:
+                        ig.release(s)
+                segs = _route_net_fast(
+                    ig, state, net_id, src, sink_ids, pres, crit_ids, exact
+                )
+                seg_routes[net_id] = segs
+                routed += 1
+                for s in segs:
+                    ig.occupy(s)
         overuse = ig.total_overuse()
         if overuse == 0:
             break

@@ -174,7 +174,8 @@ class IncrementalSTA:
     def refresh(self) -> None:
         """Bring the cached analysis up to date with all pending edits."""
         if self._full:
-            self._rebuild_full()
+            with PERF.timer("sta.rebuild"):
+                self._rebuild_full()
             return
         if not (
             self._moved
@@ -184,7 +185,11 @@ class IncrementalSTA:
             or self._order_dirty
         ):
             return
+        with PERF.timer("sta.refresh"):
+            self._refresh_dirty()
 
+    def _refresh_dirty(self) -> None:
+        """The incremental re-propagation (split out for span timing)."""
         netlist = self.netlist
         placement = self.placement
         model = self.model

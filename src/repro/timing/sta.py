@@ -25,6 +25,7 @@ from repro.arch.delay import LinearDelayModel
 from repro.arch.fpga import FpgaArch
 from repro.netlist.cells import CellType
 from repro.netlist.netlist import Netlist
+from repro.perf import PERF
 from repro.place.placement import Placement
 
 #: A timing end point: (cell id, input pin index).
@@ -334,14 +335,15 @@ def analyze(
 ) -> TimingAnalysis:
     """Run STA; all cells referenced by the netlist must be placed."""
     model = (arch.delay_model if arch is not None else placement.arch.delay_model)
-    order = netlist.combinational_order()
-    arrival, arrival_pred, endpoint_arrival = forward_pass(
-        netlist, placement, model, order
-    )
-    critical_endpoint, critical_delay = critical_of(endpoint_arrival)
-    required, required_strict = backward_pass(
-        netlist, placement, model, order, arrival, endpoint_arrival, critical_delay
-    )
+    with PERF.timer("sta.analyze"):
+        order = netlist.combinational_order()
+        arrival, arrival_pred, endpoint_arrival = forward_pass(
+            netlist, placement, model, order
+        )
+        critical_endpoint, critical_delay = critical_of(endpoint_arrival)
+        required, required_strict = backward_pass(
+            netlist, placement, model, order, arrival, endpoint_arrival, critical_delay
+        )
     return TimingAnalysis(
         arrival=arrival,
         arrival_pred=arrival_pred,

@@ -1,0 +1,237 @@
+"""Span-based flow tracer: nested timed spans, Chrome-trace export.
+
+:mod:`repro.perf` answers "how much time went into each phase, in
+total"; this module answers "what happened, in order, and inside what".
+A :class:`SpanTracer` records *nested spans* — named intervals with wall
+and CPU time plus structured attributes — and emits them in the Chrome
+``trace_event`` JSON format, so a run can be opened directly in
+``chrome://tracing`` / Perfetto or post-processed with
+``python -m repro trace-view``.
+
+The tracer layers on the perf registry rather than duplicating its call
+sites: setting ``PERF.tracer = TRACER`` makes every existing
+``PERF.timer("flow.sta")`` style block emit a span as well (see
+:meth:`repro.perf.PerfRegistry.timer`).  The flow adds its own
+higher-level spans (one per optimizer iteration, with the chosen sink,
+ε, and delay movement as attributes).
+
+Everything is disabled by default and the disabled cost is one attribute
+load per instrumentation point, so production runs do not pay for it.
+Typical usage::
+
+    from repro.trace import TRACER, start_tracing, stop_tracing
+
+    start_tracing()
+    ... run the flow ...
+    stop_tracing("trace.json")    # Chrome trace_event JSON
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+TRACE_FORMAT = "chrome-trace-event"
+
+
+class SpanTracer:
+    """Records nested spans; exports Chrome ``trace_event`` JSON.
+
+    Spans are stored as *complete events* (``"ph": "X"``) at the moment
+    they close; spans still open when the trace is exported (e.g. after
+    a crash) are emitted as begin events (``"ph": "B"``) so the viewer
+    shows exactly where the run died.
+    """
+
+    __slots__ = ("enabled", "_events", "_stack", "_origin", "_cpu_origin", "_pid")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._events: list[dict] = []
+        self._stack: list[tuple[str, float, float, dict | None]] = []
+        self._origin = 0.0
+        self._cpu_origin = 0.0
+        self._pid = os.getpid()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        if not self._events and not self._stack:
+            self._origin = time.perf_counter()
+            self._cpu_origin = time.process_time()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._stack.clear()
+        self._origin = time.perf_counter()
+        self._cpu_origin = time.process_time()
+
+    # -- recording -----------------------------------------------------
+
+    def begin(self, name: str, **args) -> None:
+        """Open a span.  Pair with :meth:`end`; spans nest LIFO."""
+        if not self.enabled:
+            return
+        self._stack.append(
+            (name, time.perf_counter(), time.process_time(), args or None)
+        )
+
+    def end(self, **args) -> None:
+        """Close the innermost open span, merging ``args`` into it."""
+        if not self.enabled or not self._stack:
+            return
+        name, start, cpu_start, attrs = self._stack.pop()
+        wall = time.perf_counter()
+        merged = dict(attrs) if attrs else {}
+        if args:
+            merged.update(args)
+        merged["cpu_ms"] = round((time.process_time() - cpu_start) * 1e3, 3)
+        self._events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": (start - self._origin) * 1e6,
+                "dur": (wall - start) * 1e6,
+                "pid": self._pid,
+                "tid": 1,
+                "args": merged,
+            }
+        )
+
+    @contextmanager
+    def span(self, name: str, **args):
+        """``with TRACER.span("phase", key=...):`` — begin/end in one."""
+        if not self.enabled:
+            yield
+            return
+        self.begin(name, **args)
+        try:
+            yield
+        finally:
+            self.end()
+
+    def instant(self, name: str, **args) -> None:
+        """A zero-duration marker event."""
+        if not self.enabled:
+            return
+        self._events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "s": "t",
+                "ts": (time.perf_counter() - self._origin) * 1e6,
+                "pid": self._pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+
+    def counter(self, name: str, value: float) -> None:
+        """A Chrome counter-track sample."""
+        if not self.enabled:
+            return
+        self._events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": (time.perf_counter() - self._origin) * 1e6,
+                "pid": self._pid,
+                "tid": 1,
+                "args": {"value": value},
+            }
+        )
+
+    # -- reporting -----------------------------------------------------
+
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def to_chrome(self, metadata: dict | None = None) -> dict:
+        """The full trace as a Chrome ``trace_event`` JSON object."""
+        events = list(self._events)
+        # Spans never closed (crash / still running): emit as "B" so the
+        # viewer renders them open-ended at the point of death.
+        for name, start, _cpu, attrs in self._stack:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "B",
+                    "ts": (start - self._origin) * 1e6,
+                    "pid": self._pid,
+                    "tid": 1,
+                    "args": dict(attrs) if attrs else {},
+                }
+            )
+        events.sort(key=lambda event: event["ts"])
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"format": TRACE_FORMAT, **(metadata or {})},
+        }
+        return payload
+
+    def write(self, path, metadata: dict | None = None) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(metadata), handle)
+            handle.write("\n")
+
+
+#: The process-wide tracer (mirrors :data:`repro.perf.PERF`).
+TRACER = SpanTracer()
+
+
+def start_tracing(reset: bool = True) -> SpanTracer:
+    """Enable the tracer and hook it into the perf registry's timers."""
+    from repro.perf import PERF
+
+    if reset:
+        TRACER.reset()
+    TRACER.enable()
+    PERF.tracer = TRACER
+    return TRACER
+
+
+def stop_tracing(path=None, metadata: dict | None = None) -> dict:
+    """Unhook and disable the tracer; optionally write the trace JSON."""
+    from repro.perf import PERF
+
+    PERF.tracer = None
+    TRACER.disable()
+    trace = TRACER.to_chrome(metadata)
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(trace, handle)
+            handle.write("\n")
+    return trace
+
+
+def summarize_trace(trace: dict) -> list[dict]:
+    """Aggregate a Chrome trace by span name (drives ``trace-view``).
+
+    Returns rows ``{"name", "count", "total_ms", "avg_ms", "max_ms"}``
+    sorted by descending total time.
+    """
+    totals: dict[str, list[float]] = {}
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        totals.setdefault(event["name"], []).append(event.get("dur", 0.0) / 1e3)
+    rows = [
+        {
+            "name": name,
+            "count": len(durations),
+            "total_ms": sum(durations),
+            "avg_ms": sum(durations) / len(durations),
+            "max_ms": max(durations),
+        }
+        for name, durations in totals.items()
+    ]
+    rows.sort(key=lambda row: -row["total_ms"])
+    return rows

@@ -1,0 +1,104 @@
+"""CLI subcommands: run/route/resume/trace-view/bench + the legacy shim."""
+
+import json
+
+import pytest
+
+from repro.cli import LEGACY_NOTICE, main as cli_main
+
+RUN_FLAGS = [
+    "--circuit", "tseng", "--scale", "0.03", "--effort", "0.2",
+    "--place-effort", "0.1",
+]
+
+
+class TestRun:
+    def test_run_with_run_dir_trace_checkpoint(self, capsys, tmp_path):
+        run_dir = tmp_path / "out"
+        code = cli_main([
+            "run", *RUN_FLAGS,
+            "--run-dir", str(run_dir), "--trace", "--checkpoint-every", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replication" in output
+        for name in ("config.json", "journal.jsonl", "checkpoint.json",
+                     "trace.json", "result.json"):
+            assert (run_dir / name).exists(), name
+        config = json.loads((run_dir / "config.json").read_text())
+        assert config["circuit"] == "tseng"
+        assert config["checkpoint_every"] == 2
+        trace = json.loads((run_dir / "trace.json").read_text())
+        assert trace["traceEvents"]
+
+    def test_run_trace_to_explicit_path(self, capsys, tmp_path):
+        trace_file = tmp_path / "t.json"
+        code = cli_main(["run", *RUN_FLAGS, "--trace", str(trace_file)])
+        assert code == 0
+        assert json.loads(trace_file.read_text())["traceEvents"]
+
+    def test_checkpoint_without_run_dir_fails(self, tmp_path):
+        with pytest.raises(ValueError):
+            cli_main(["run", *RUN_FLAGS, "--checkpoint-every", "2"])
+
+
+class TestResume:
+    def test_resume_finishes_a_run_dir(self, capsys, tmp_path):
+        run_dir = tmp_path / "out"
+        assert cli_main([
+            "run", *RUN_FLAGS,
+            "--run-dir", str(run_dir), "--checkpoint-every", "1",
+        ]) == 0
+        code = cli_main(["resume", str(run_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "resumed" in output
+
+    def test_resume_missing_checkpoint_errors(self, capsys, tmp_path):
+        code = cli_main(["resume", str(tmp_path)])
+        assert code == 1
+        assert "no checkpoint" in capsys.readouterr().err
+
+
+class TestTraceView:
+    def test_summary_table(self, capsys, tmp_path):
+        run_dir = tmp_path / "out"
+        assert cli_main([
+            "run", *RUN_FLAGS, "--run-dir", str(run_dir), "--trace",
+        ]) == 0
+        capsys.readouterr()
+        code = cli_main(["trace-view", str(run_dir / "trace.json")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "span" in output
+        assert "flow.iteration" in output
+
+    def test_unreadable_file_errors(self, capsys, tmp_path):
+        code = cli_main(["trace-view", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "trace-view" in capsys.readouterr().err
+
+
+class TestBenchForwarding:
+    def test_bench_forwards_to_runner(self, capsys):
+        code = cli_main([
+            "bench", "table1", "--scale", "0.02", "--circuits", "tseng",
+        ])
+        assert code == 0
+        assert "tseng" in capsys.readouterr().out
+
+
+class TestLegacyShim:
+    def test_flat_flags_rewritten_to_run(self, capsys, tmp_path):
+        out_blif = tmp_path / "out.blif"
+        code = cli_main([*RUN_FLAGS, "--out-blif", str(out_blif)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert LEGACY_NOTICE in captured.err
+        assert "replication" in captured.out
+        assert out_blif.exists()
+
+    def test_subcommand_form_does_not_warn(self, capsys):
+        code = cli_main(["run", *RUN_FLAGS, "--algorithm", "none"])
+        assert code == 0
+        assert LEGACY_NOTICE not in capsys.readouterr().err
