@@ -240,6 +240,20 @@ def phase_route_lowstress(repeats: int, quick: bool, engine: str) -> float:
     return _best_of(run, repeats)
 
 
+def phase_wmin(repeats: int, quick: bool, engine: str, wmin_engine: str) -> float:
+    """Full W_min search on the routing circuit (the dominant route phase)."""
+    from repro.route.metrics import find_min_channel_width
+
+    netlist, placement = _placed_circuit(luts=120 if quick else 400, seed=7)
+
+    def run() -> None:
+        find_min_channel_width(
+            netlist, placement, engine=engine, wmin_engine=wmin_engine
+        )
+
+    return _best_of(run, repeats)
+
+
 def phase_legalizer(repeats: int, quick: bool) -> float:
     """Legalize a deliberately overfull placement."""
     from repro.place.legalizer import TimingDrivenLegalizer
@@ -271,10 +285,13 @@ PHASES = (
     "flow_micro",
     "route_winf",
     "route_lowstress",
+    "wmin",
 )
 
 
-def run_phases(repeats: int, quick: bool, engine: str = "fast") -> dict[str, float]:
+def run_phases(
+    repeats: int, quick: bool, engine: str = "fast", wmin_engine: str = "fast"
+) -> dict[str, float]:
     timings: dict[str, float] = {}
     timings["sta_full"] = phase_sta_full(repeats, quick)
     timings["sta_after_move"] = phase_sta_after_move(repeats, quick)
@@ -287,6 +304,9 @@ def run_phases(repeats: int, quick: bool, engine: str = "fast") -> dict[str, flo
     timings["route_lowstress"] = phase_route_lowstress(
         max(1, repeats - 1), quick, engine
     )
+    # The search is end-to-end (many negotiations per run), so one
+    # repeat less keeps the reference-engine baseline regen tractable.
+    timings["wmin"] = phase_wmin(max(1, repeats - 2), quick, engine, wmin_engine)
     return timings
 
 
@@ -313,6 +333,13 @@ def main(argv: list[str] | None = None) -> int:
         help="router engine for the route_* phases (reference = parity "
         "oracle, for regenerating 'before' numbers)",
     )
+    parser.add_argument(
+        "--wmin-engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="W_min search strategy for the wmin phase (reference = cold "
+        "bisection, for regenerating 'before' numbers)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -323,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     except ImportError:  # seed code without the perf registry
         PERF = None
 
-    timings = run_phases(args.repeats, args.quick, args.engine)
+    timings = run_phases(args.repeats, args.quick, args.engine, args.wmin_engine)
 
     report: dict = {
         "meta": {

@@ -301,10 +301,25 @@ def optimize(
     return out
 
 
-def route(design: Design, placement: Placement, *, jobs: int = 1) -> RouteResult:
-    """Low-stress + infinite routing with routed-timing STA."""
+def route(
+    design: Design,
+    placement: Placement,
+    *,
+    jobs: int = 1,
+    wmin_engine: str = "fast",
+    start_width: int | None = None,
+) -> RouteResult:
+    """Low-stress + infinite routing with routed-timing STA.
+
+    ``wmin_engine``/``start_width``/``jobs`` tune the W_min search (see
+    :func:`repro.route.find_min_channel_width`); the reported metrics
+    are identical for every setting.
+    """
     start = time.perf_counter()
-    low = route_low_stress(design.netlist, placement)
+    low = route_low_stress(
+        design.netlist, placement,
+        wmin_engine=wmin_engine, jobs=jobs, start_width=start_width,
+    )
     infinite = route_infinite(design.netlist, placement, jobs=jobs)
     w_ls = routed_critical_delay(design.netlist, placement, low)
     w_inf = routed_critical_delay(design.netlist, placement, infinite)

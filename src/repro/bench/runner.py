@@ -83,14 +83,24 @@ def run_vpr_baseline(
     seed: int = 0,
     inner_scale: float = 0.25,
     route_jobs: int = 1,
+    wmin_engine: str = "fast",
+    start_width: int | None = None,
 ) -> BaselineRun:
-    """Generate, place (timing-driven SA) and route one suite circuit."""
+    """Generate, place (timing-driven SA) and route one suite circuit.
+
+    ``wmin_engine``/``start_width`` tune the W_min search only — the
+    measured width is identical either way (``start_width`` typically
+    comes from a previous run's cache, see ``--run-dir``).
+    """
     start = time.perf_counter()
     netlist, arch = suite_circuit(name, scale=scale)
     placement, _stats = place_timing_driven(
         netlist, arch, seed=seed, inner_scale=inner_scale
     )
-    min_width = find_min_channel_width(netlist, placement)
+    min_width = find_min_channel_width(
+        netlist, placement,
+        wmin_engine=wmin_engine, jobs=route_jobs, start_width=start_width,
+    )
     low = route_low_stress(netlist, placement, min_width=min_width)
     infinite = route_infinite(netlist, placement, jobs=route_jobs)
     elapsed = time.perf_counter() - start
@@ -201,6 +211,36 @@ def averages_by_size(runs: list[VariantRun]) -> dict[str, dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# W_min cache (per-run-dir warm-start hints)
+# ----------------------------------------------------------------------
+
+#: File in the run dir mapping "circuit@scale/seed" -> measured W_min.
+WMIN_CACHE_FILE = "wmin.json"
+
+
+def _wmin_cache_key(name: str, scale: float, seed: int) -> str:
+    return f"{name}@{scale:g}/{seed}"
+
+
+def load_wmin_cache(run_dir: str) -> dict[str, int]:
+    """Per-circuit W_min results recorded by a previous run, if any."""
+    path = os.path.join(run_dir, WMIN_CACHE_FILE)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return {k: v for k, v in data.items() if isinstance(v, int)}
+
+
+def save_wmin_cache(run_dir: str, cache: dict[str, int]) -> None:
+    os.makedirs(run_dir, exist_ok=True)
+    with open(os.path.join(run_dir, WMIN_CACHE_FILE), "w") as handle:
+        json.dump(cache, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 
@@ -243,6 +283,19 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for W-infinity routing (bit-identical results)",
     )
     parser.add_argument(
+        "--wmin-engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="W_min search strategy (identical widths either way)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="record per-circuit W_min into DIR/wmin.json and warm-start "
+        "repeat evaluations from it",
+    )
+    parser.add_argument(
         "--perf-json",
         default=None,
         metavar="PATH",
@@ -261,10 +314,25 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [token.strip() for token in args.circuits.split(",")]
 
+    wmin_cache = load_wmin_cache(args.run_dir) if args.run_dir else {}
+
+    def make_baseline(name: str) -> BaselineRun:
+        key = _wmin_cache_key(name, args.scale, args.seed)
+        baseline = run_vpr_baseline(
+            name,
+            scale=args.scale,
+            seed=args.seed,
+            route_jobs=args.route_jobs,
+            wmin_engine=args.wmin_engine,
+            start_width=wmin_cache.get(key),
+        )
+        if args.run_dir is not None:
+            wmin_cache[key] = baseline.min_width
+            save_wmin_cache(args.run_dir, wmin_cache)
+        return baseline
+
     if args.experiment == "table1":
-        baselines = [
-            run_vpr_baseline(name, scale=args.scale, seed=args.seed) for name in names
-        ]
+        baselines = [make_baseline(name) for name in names]
         print(tables.format_table1(baselines, scale=args.scale))
     elif args.experiment in ("table2", "table3"):
         algorithms = [token.strip() for token in args.algorithms.split(",")]
@@ -272,7 +340,7 @@ def main(argv: list[str] | None = None) -> int:
             algorithms = ["rt", "lex-mc", "lex-2", "lex-3", "lex-4", "lex-5"]
         runs: dict[str, list[VariantRun]] = {alg: [] for alg in algorithms}
         for name in names:
-            baseline = run_vpr_baseline(name, scale=args.scale, seed=args.seed)
+            baseline = make_baseline(name)
             for algorithm in algorithms:
                 runs[algorithm].append(
                     run_variant(baseline, algorithm, effort=args.effort, seed=args.seed)
@@ -282,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(tables.format_table3(runs, scale=args.scale))
     elif args.experiment == "fig14":
-        baseline = run_vpr_baseline("ex1010", scale=args.scale, seed=args.seed)
+        baseline = make_baseline("ex1010")
         run = run_variant(baseline, "rt", effort=args.effort, seed=args.seed)
         print(tables.format_fig14(run, scale=args.scale))
     elif args.experiment == "overhead":
@@ -294,9 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         total_pr = 0.0
         total_opt = 0.0
         for name in names:
-            baseline = run_vpr_baseline(
-                name, scale=args.scale, seed=args.seed, route_jobs=args.route_jobs
-            )
+            baseline = make_baseline(name)
             run = run_variant(
                 baseline,
                 "rt",

@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     route = sub.add_parser("route", help="route a placement, report timing")
     _add_input_arguments(route)
     route.add_argument("--route-jobs", type=int, default=1, dest="route_jobs")
+    route.add_argument("--wmin-engine", choices=("fast", "reference"),
+                       default="fast", dest="wmin_engine",
+                       help="W_min search strategy: warm-started fast engine "
+                       "or the cold reference bisection (identical widths)")
+    route.add_argument("--start-width", type=int, default=None,
+                       dest="start_width", metavar="W",
+                       help="warm-start the W_min search at this width "
+                       "(e.g. a prior run's result; never changes the answer)")
     route.set_defaults(func=cmd_route)
 
     bench = sub.add_parser(
@@ -232,7 +240,10 @@ def cmd_run(args) -> int:
 
 def cmd_route(args) -> int:
     design, placed = _load_and_place(args)
-    _print_routing(api.route(design, placed.placement, jobs=args.route_jobs))
+    _print_routing(api.route(
+        design, placed.placement, jobs=args.route_jobs,
+        wmin_engine=args.wmin_engine, start_width=args.start_width,
+    ))
     return 0
 
 

@@ -14,6 +14,11 @@ from repro.route.rrgraph import (
     Segment,
     segment,
 )
+from repro.route.wmin import (
+    demand_lower_bound,
+    find_min_channel_width_fast,
+    galloping_bisect,
+)
 
 __all__ = [
     "IndexedRoutingGraph",
@@ -22,7 +27,10 @@ __all__ = [
     "RoutingGraph",
     "RoutingResult",
     "Segment",
+    "demand_lower_bound",
     "find_min_channel_width",
+    "find_min_channel_width_fast",
+    "galloping_bisect",
     "route_design",
     "route_infinite",
     "route_low_stress",

@@ -19,6 +19,7 @@ from repro.netlist.netlist import Netlist
 from repro.perf import PERF
 from repro.place.placement import Placement
 from repro.route.pathfinder import RoutingResult, route_design
+from repro.route.wmin import find_min_channel_width_fast, galloping_bisect
 
 
 @dataclass
@@ -35,29 +36,46 @@ def find_min_channel_width(
     max_width: int = 128,
     max_iterations: int = 16,
     engine: str = "fast",
+    wmin_engine: str = "fast",
+    jobs: int = 1,
+    start_width: int | None = None,
 ) -> int:
-    """Binary-search the smallest routable channel width."""
+    """Smallest routable channel width, per the reference probe protocol.
+
+    ``wmin_engine`` selects the *search* strategy (both return the same
+    width):
+
+    * ``"reference"`` — cold galloping bisection: a from-scratch
+      negotiation at every probed width.
+    * ``"fast"`` — the warm-started, bound-pruned, speculative engine in
+      :mod:`repro.route.wmin`; ``jobs > 1`` probes speculatively in
+      parallel and ``start_width`` seeds the search with a prior result
+      (e.g. this circuit's width from an earlier run), both without
+      affecting the returned width.
+
+    ``engine`` still selects the per-width *router* (fast/reference
+    PathFinder), independently of the search strategy.
+    """
     with PERF.timer("route.wmin"):
-        low, high = 1, 1
-        while high <= max_width:
-            if route_design(
-                netlist, placement, high, max_iterations, engine=engine
-            ).success:
-                break
-            low = high + 1
-            high *= 2
-        else:
-            raise RuntimeError(f"unroutable even at channel width {max_width}")
-        # Invariant: high routes, widths below low fail.
-        while low < high:
-            mid = (low + high) // 2
-            if route_design(
-                netlist, placement, mid, max_iterations, engine=engine
-            ).success:
-                high = mid
-            else:
-                low = mid + 1
-        return high
+        if wmin_engine == "fast":
+            return find_min_channel_width_fast(
+                netlist,
+                placement,
+                max_width=max_width,
+                max_iterations=max_iterations,
+                engine=engine,
+                jobs=jobs,
+                start_width=start_width,
+            )
+        if wmin_engine != "reference":
+            raise ValueError(f"unknown wmin engine: {wmin_engine!r}")
+
+        def success_at(width: int) -> bool:
+            return route_design(
+                netlist, placement, width, max_iterations, engine=engine
+            ).success
+
+        return galloping_bisect(success_at, max_width)
 
 
 def route_low_stress(
@@ -66,10 +84,16 @@ def route_low_stress(
     min_width: int | None = None,
     stress_margin: float = 0.2,
     engine: str = "fast",
+    wmin_engine: str = "fast",
+    jobs: int = 1,
+    start_width: int | None = None,
 ) -> RoutingResult:
     """Route with ~20% spare tracks over the minimum ([18]'s low stress)."""
     if min_width is None:
-        min_width = find_min_channel_width(netlist, placement, engine=engine)
+        min_width = find_min_channel_width(
+            netlist, placement, engine=engine, wmin_engine=wmin_engine,
+            jobs=jobs, start_width=start_width,
+        )
     width = max(min_width + 1, math.ceil(min_width * (1.0 + stress_margin)))
     with PERF.timer("route.lowstress"):
         return route_design(netlist, placement, width, engine=engine)

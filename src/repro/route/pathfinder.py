@@ -358,7 +358,7 @@ class _SearchState:
     __slots__ = (
         "best", "parent", "parent_seg", "stamp", "gen",
         "tree_stamp", "hops", "tree_gen", "seg_stamp",
-        "pops", "pushes", "retries",
+        "pops", "pushes", "stale", "retries",
     )
 
     def __init__(self, num_slots: int, num_segments: int) -> None:
@@ -373,6 +373,7 @@ class _SearchState:
         self.seg_stamp = [0] * num_segments
         self.pops = 0
         self.pushes = 0
+        self.stale = 0
         self.retries = 0
 
 
@@ -436,8 +437,21 @@ def _search_to_target(
         push(heap, (f, t, seed))
         pushes += 1
 
+    # Heap-churn control: every pop is counted (so ``pops <= pushes`` is
+    # a conservation invariant), entries dominated by the per-node best
+    # array are skipped as *stale* before any expansion work, and — once
+    # the target has been reached — entries that would pop strictly
+    # after the target's heap entry (``(f, v) > (best[target], target)``
+    # in heap order) are never pushed at all.  The per-node arrays are
+    # still updated for pruned entries, so domination tests behave
+    # exactly as if the entry sat unpopped in the heap; since the
+    # target's key only ever improves, a pruned entry could never have
+    # been popped before the target and therefore never influences the
+    # realized parent chain.  Pruning is thus exact, not heuristic.
     pops = 0
+    stale = 0
     found = False
+    tbest = math.inf  # target's current heap key (inf until reached)
     if uniform:
         # Uniform regime: congestion cost is exactly 1.0 on every edge,
         # so the step collapses to a per-search constant (same float as
@@ -445,12 +459,13 @@ def _search_to_target(
         step = crit + one_minus * 1.0
         while heap:
             _f, u, g = pop(heap)
+            pops += 1
             if g > best[u]:
+                stale += 1
                 continue
             if u == target:
                 found = True
                 break
-            pops += 1
             c = g + step
             for v, s, x, y in adj[u]:
                 if x < bx0 or x > bx1 or y < by0 or y > by1:
@@ -462,17 +477,22 @@ def _search_to_target(
                 best[v] = c
                 parent[v] = u
                 parent_seg[v] = s
+                if c > tbest or (c == tbest and v > target):
+                    continue  # would pop after the target: dead entry
+                if v == target:
+                    tbest = c
                 push(heap, (c, v, c))
                 pushes += 1
     else:
         while heap:
             _f, u, g = pop(heap)
+            pops += 1
             if g > best[u]:
+                stale += 1
                 continue
             if u == target:
                 found = True
                 break
-            pops += 1
             for v, s, x, y in adj[u]:
                 if x < bx0 or x > bx1 or y < by0 or y > by1:
                     continue
@@ -492,10 +512,15 @@ def _search_to_target(
                 dx = x - tx
                 dy = y - ty
                 f = c + ((dx if dx >= 0 else -dx) + (dy if dy >= 0 else -dy)) * hfac
+                if f > tbest or (f == tbest and v > target):
+                    continue  # would pop after the target: dead entry
+                if v == target:
+                    tbest = c
                 push(heap, (f, v, c))
                 pushes += 1
     state.pops += pops
     state.pushes += pushes
+    state.stale += stale
     return found
 
 
@@ -699,6 +724,7 @@ def _route_design_fast(
             PERF.add("route.nets_ripped", ripped)
             PERF.add("route.search_pops", state.pops)
             PERF.add("route.search_pushes", state.pushes)
+            PERF.add("route.search_stale", state.stale)
             PERF.add("route.bbox_retries", state.retries)
             PERF.add("route.exact_fallbacks", 1)
         return _route_design_fast(
@@ -715,6 +741,7 @@ def _route_design_fast(
         PERF.add("route.nets_ripped", ripped)
         PERF.add("route.search_pops", state.pops)
         PERF.add("route.search_pushes", state.pushes)
+        PERF.add("route.search_stale", state.stale)
         PERF.add("route.bbox_retries", state.retries)
         PERF.add("route.iterations", iterations)
     success = ig.total_overuse() == 0
@@ -761,6 +788,7 @@ def _winf_worker(payload):
         "route.nets_routed": len(out),
         "route.search_pops": state.pops,
         "route.search_pushes": state.pushes,
+        "route.search_stale": state.stale,
         "route.bbox_retries": state.retries,
     }
     return out, counters

@@ -1,0 +1,563 @@
+"""W_min search engine: warm-started, bound-pruned, speculative-parallel.
+
+Section VII's evaluation protocol needs ``W_min`` — the smallest channel
+width the router can legally route — for every circuit, and the naive
+way to get it (cold galloping bisection, one full PathFinder negotiation
+per probed width) dominates the whole benchmark run.  This module keeps
+the *protocol answer* bit-identical while restructuring the search
+around four ideas:
+
+1. **Demand lower bound** (:func:`demand_lower_bound`).  Two families of
+   certificates prove widths unroutable for *any* router: a slot whose
+   ``k`` incident nets must share its ``deg`` adjacent channels forces
+   ``w >= ceil(k / deg)``, and a grid cut that ``c`` nets must cross on
+   ``s`` crossing segments forces ``w >= ceil(c / s)``.  The search
+   never probes below the bound — the certificate *is* the probe.
+
+2. **Warm-started probes** (:func:`_warm_probe`).  A single ``W∞`` route
+   yields both an upper bound (its maximum per-channel demand is a width
+   at which that very solution is legal) and an initial solution.  Each
+   probe at a lower width starts from the best legal solution found so
+   far plus its decayed history costs, rips up only the nets crossing
+   now-illegal segments, and negotiates incrementally — PathFinder
+   converges far faster from a near-legal state than from scratch.
+
+3. **Early-abort negotiation.**  A warm probe whose over-use stops
+   improving for :data:`_PLATEAU_ABORT` consecutive iterations is
+   declared hopeless and abandoned.  Warm successes and warm failures
+   alike only *steer* the search; neither ever decides the returned
+   width.  The candidate the warm search converges to is confirmed by
+   **full-effort cold probes** — the exact ``route_design`` calls the
+   reference protocol would make — at the candidate and at
+   ``candidate - 1``.  On the (rare) mismatch the engine falls back to
+   cold probes entirely, so under the same monotone-routability
+   assumption the original bisection makes, the returned width is
+   identical to :func:`galloping_bisect` over the cold oracle —
+   including its quirk of raising when ``W_min`` exceeds the largest
+   power-of-two gallop probe ``<= max_width``.
+
+4. **Speculative parallel bisection.**  With ``jobs > 1`` each round
+   probes ``mid`` in-process and, concurrently on a worker, the flanking
+   width the search would probe next *if mid fails* (that probe's seed
+   state is the same either way, so the speculative result is exactly
+   what the sequential search would compute).  Confirmation likewise
+   runs the candidate and ``candidate - 1`` cold probes concurrently.
+   Decisions are always taken in sequential order, so the returned
+   width is independent of ``jobs``.
+
+Everything reports into ``repro.perf`` under ``route.wmin.*`` (probe
+counts, speculation hits, plateau aborts, confirmation mismatches) and
+the phase timers double as trace spans when a tracer is attached.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.arch.fpga import FpgaArch, Slot
+from repro.netlist.netlist import Netlist
+from repro.perf import PERF
+from repro.place.placement import Placement
+from repro.route.pathfinder import (
+    _routable_nets,
+    _route_design_fast,
+    _route_design_reference,
+    _route_net_fast,
+    _SearchState,
+)
+from repro.route.rrgraph import IndexedRoutingGraph
+
+#: Negotiation constants — must match ``route_design``'s defaults so the
+#: cold confirmation probes replay the reference protocol exactly.
+_PRESENT_FACTOR = 0.5
+_PRESENT_GROWTH = 1.6
+#: History decay applied when carrying congestion memory from a legal
+#: solution at width ``w`` down to a probe at a lower width.
+_HISTORY_DECAY = 0.5
+#: Warm probes give up after this many consecutive non-improving
+#: iterations.  Pruning only — never decides the returned width.
+_PLATEAU_ABORT = 3
+
+#: Net tuples as produced by ``pathfinder._routable_nets``.
+NetItem = tuple[int, Slot, list[Slot], dict[Slot, float]]
+
+
+# ----------------------------------------------------------------------
+# Reference protocol skeleton (shared with metrics.find_min_channel_width)
+# ----------------------------------------------------------------------
+
+
+def galloping_bisect(success_at, max_width: int) -> int:
+    """The reference W_min protocol: gallop 1, 2, 4, ... then bisect.
+
+    ``success_at(width) -> bool`` probes one channel width.  This is the
+    original ``find_min_channel_width`` control flow factored out so a
+    synthetic oracle can property-test it: assuming routability is
+    monotone in width, it returns the exact boundary, and it raises
+    ``RuntimeError`` when every galloped width up to ``max_width``
+    fails (so a boundary above the largest power-of-two probe
+    ``<= max_width`` raises).
+    """
+    low, high = 1, 1
+    while high <= max_width:
+        if success_at(high):
+            break
+        low = high + 1
+        high *= 2
+    else:
+        raise RuntimeError(f"unroutable even at channel width {max_width}")
+    # Invariant: high routes, widths below low fail.
+    while low < high:
+        mid = (low + high) // 2
+        if success_at(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return high
+
+
+def _gallop_ceiling(max_width: int) -> int:
+    """Largest width the reference gallop ever probes (its raise line)."""
+    high = 1
+    while high * 2 <= max_width:
+        high *= 2
+    return high
+
+
+# ----------------------------------------------------------------------
+# Demand lower bound
+# ----------------------------------------------------------------------
+
+
+def demand_lower_bound(ig: IndexedRoutingGraph, nets: list[NetItem]) -> int:
+    """Provable lower bound on any legal channel width.
+
+    Certificates (each valid for *any* router, including every probe the
+    reference protocol makes, so skipping widths below the bound never
+    changes a verdict):
+
+    * **terminal incidence** — a net's route tree is connected and
+      non-empty, so it uses at least one of the ``deg(t)`` channel
+      segments incident to each of its terminal slots ``t``; ``k``
+      distinct nets with a terminal on ``t`` therefore need
+      ``w >= ceil(k / deg(t))``.
+    * **bisection cuts** — a net whose terminals straddle the vertical
+      cut between columns ``x`` and ``x + 1`` must cross one of that
+      cut's segments (one per row), so ``c`` straddling nets on ``s``
+      crossing segments need ``w >= ceil(c / s)``; likewise for
+      horizontal cuts.
+    """
+    index = ig.slot_index
+    grid_x = ig.arch.width + 1
+    grid_y = ig.arch.height + 1
+    counts = [0] * ig.num_slots
+    vdiff = [0] * (grid_x + 2)
+    hdiff = [0] * (grid_y + 2)
+    for _net_id, source, sinks, _crits in nets:
+        terminals = {index[source]}
+        terminals.update(index[s] for s in sinks)
+        min_x = min_y = math.inf
+        max_x = max_y = -math.inf
+        for t in terminals:
+            counts[t] += 1
+            x, y = ig.xs[t], ig.ys[t]
+            if x < min_x:
+                min_x = x
+            if x > max_x:
+                max_x = x
+            if y < min_y:
+                min_y = y
+            if y > max_y:
+                max_y = y
+        if max_x > min_x:  # crosses every vertical cut in [min_x, max_x - 1]
+            vdiff[min_x] += 1
+            vdiff[max_x] -= 1
+        if max_y > min_y:
+            hdiff[min_y] += 1
+            hdiff[max_y] -= 1
+
+    bound = 1
+    nbr_ptr = ig.nbr_ptr
+    for i, k in enumerate(counts):
+        if k:
+            degree = nbr_ptr[i + 1] - nbr_ptr[i]
+            if degree:
+                need = -(-k // degree)
+                if need > bound:
+                    bound = need
+
+    vcap = [0] * (grid_x + 2)
+    hcap = [0] * (grid_y + 2)
+    for a, b in ig.seg_slots:
+        if a[0] != b[0]:  # horizontal segment crosses the cut at x = a[0]
+            vcap[a[0]] += 1
+        else:  # vertical segment crosses the cut at y = a[1]
+            hcap[a[1]] += 1
+    for diff, cap, limit in ((vdiff, vcap, grid_x), (hdiff, hcap, grid_y)):
+        crossing = 0
+        for cut in range(limit + 1):
+            crossing += diff[cut]
+            if crossing and cap[cut]:
+                need = -(-crossing // cap[cut])
+                if need > bound:
+                    bound = need
+    return bound
+
+
+# ----------------------------------------------------------------------
+# Warm-started probes
+# ----------------------------------------------------------------------
+
+
+def _indexed_items(ig: IndexedRoutingGraph, nets: list[NetItem]):
+    index = ig.slot_index
+    return [
+        (
+            net_id,
+            index[source],
+            [index[s] for s in sinks],
+            {index[s]: c for s, c in crits.items()},
+        )
+        for net_id, source, sinks, crits in nets
+    ]
+
+
+def _route_winf(ig: IndexedRoutingGraph, items) -> tuple[dict[int, list[int]], int]:
+    """Route every net congestion-free; returns routes + peak demand."""
+    state = _SearchState(ig.num_slots, ig.num_segments)
+    routes: dict[int, list[int]] = {}
+    for net_id, source, sinks, crits in items:
+        segs = _route_net_fast(
+            ig, state, net_id, source, sinks, _PRESENT_FACTOR, crits
+        )
+        routes[net_id] = segs
+        for s in segs:
+            ig.occupy(s)
+    if PERF.enabled:
+        PERF.add("route.wmin.winf_pops", state.pops)
+        PERF.add("route.wmin.winf_pushes", state.pushes)
+    return routes, (max(ig.usage) if ig.usage else 0)
+
+
+def _warm_probe(
+    arch: FpgaArch,
+    items,
+    width: int,
+    seg_routes: dict[int, list[int]],
+    history: list[float] | None,
+    max_iterations: int,
+):
+    """Negotiate ``width`` starting from a prior solution + decayed history.
+
+    Installs the seed routes, rips up only the nets crossing segments
+    that are over-used at the new width, and negotiates incrementally; a
+    plateau of :data:`_PLATEAU_ABORT` non-improving iterations aborts
+    the probe (after one full re-route attempt, mirroring the fast
+    engine's wedge recovery).  Returns ``(success, routes, history,
+    iterations, aborted, counters)``; the routes/history of a successful
+    probe seed the next one.
+    """
+    ig = IndexedRoutingGraph(arch, width)
+    state = _SearchState(ig.num_slots, ig.num_segments)
+    if history is not None:
+        decayed = [h * _HISTORY_DECAY for h in history]
+        ig.history = decayed
+        ig.has_history = max(decayed, default=0.0) > 0.0
+    routes = {net_id: list(segs) for net_id, segs in seg_routes.items()}
+    occupy, release = ig.occupy, ig.release
+    for segs in routes.values():
+        for s in segs:
+            occupy(s)
+
+    pres = _PRESENT_FACTOR
+    prev_overuse = None
+    stall = 0
+    full_reroute = False  # the warm seed is the point: start incremental
+    success = False
+    aborted = False
+    iterations = 0
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        if full_reroute:
+            targets = items
+        else:
+            over_flag = bytearray(ig.num_segments)
+            for s in ig.overused_segments():
+                over_flag[s] = 1
+            targets = [
+                item
+                for item in items
+                if any(over_flag[s] for s in routes[item[0]])
+            ]
+        for net_id, source, sink_ids, crit_ids in targets:
+            for s in routes[net_id]:
+                release(s)
+            segs = _route_net_fast(
+                ig, state, net_id, source, sink_ids, pres, crit_ids
+            )
+            routes[net_id] = segs
+            for s in segs:
+                occupy(s)
+        overuse = ig.total_overuse()
+        if overuse == 0:
+            success = True
+            break
+        if prev_overuse is not None and overuse >= prev_overuse:
+            stall += 1
+            if stall >= _PLATEAU_ABORT:
+                aborted = True
+                break
+            full_reroute = True  # wedged on the reduced move set
+        else:
+            stall = 0
+            full_reroute = False
+        prev_overuse = overuse
+        ig.accrue_history()
+        pres *= _PRESENT_GROWTH
+    counters = {
+        "route.wmin.warm_probes": 1,
+        "route.wmin.warm_iterations": iterations,
+        "route.search_pops": state.pops,
+        "route.search_pushes": state.pushes,
+        "route.search_stale": state.stale,
+    }
+    if aborted:
+        counters["route.wmin.aborted_probes"] = 1
+    return success, routes, ig.history, iterations, aborted, counters
+
+
+def _warm_probe_worker(payload):
+    """Worker-process wrapper for speculative warm probes."""
+    arch, items, width, seg_routes, history, max_iterations = payload
+    return _warm_probe(arch, items, width, seg_routes, history, max_iterations)
+
+
+# ----------------------------------------------------------------------
+# Cold probes (the reference protocol's oracle, verdict-identical)
+# ----------------------------------------------------------------------
+
+
+def _cold_probe(
+    arch: FpgaArch,
+    nets: list[NetItem],
+    width: int,
+    max_iterations: int,
+    engine: str,
+) -> bool:
+    """One full-effort cold probe — the same engine call, on the same
+    deterministic net list, that ``route_design`` would make, so the
+    verdict matches the reference protocol's probe at this width."""
+    if engine == "reference":
+        result = _route_design_reference(
+            arch, nets, width, max_iterations, _PRESENT_FACTOR, _PRESENT_GROWTH
+        )
+    else:
+        result = _route_design_fast(
+            arch, nets, width, max_iterations, _PRESENT_FACTOR, _PRESENT_GROWTH
+        )
+    return result.success
+
+
+def _cold_probe_worker(payload) -> bool:
+    arch, nets, width, max_iterations, engine = payload
+    return _cold_probe(arch, nets, width, max_iterations, engine)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+def find_min_channel_width_fast(
+    netlist: Netlist,
+    placement: Placement,
+    max_width: int = 128,
+    max_iterations: int = 16,
+    engine: str = "fast",
+    jobs: int = 1,
+    start_width: int | None = None,
+) -> int:
+    """Warm-started, bound-pruned, speculative W_min search.
+
+    Returns the same width as the reference galloping bisection (under
+    its own monotone-routability assumption), for any ``jobs`` count and
+    any ``start_width`` hint; see the module docstring for the protocol.
+    """
+    arch = placement.arch
+    nets = _routable_nets(netlist, placement, True)
+    ceiling = _gallop_ceiling(max_width)
+    if not nets:
+        return 1  # reference: the width-1 probe trivially succeeds
+    template = IndexedRoutingGraph(arch, math.inf)
+    lower = demand_lower_bound(template, nets)
+    if PERF.enabled:
+        PERF.add("route.wmin.searches")
+    if lower > ceiling:
+        # Certified unroutable everywhere the reference gallop probes.
+        raise RuntimeError(f"unroutable even at channel width {max_width}")
+
+    cold_cache: dict[int, bool] = {}
+    pool = ProcessPoolExecutor(max_workers=1) if jobs > 1 else None
+    try:
+
+        def cold(width: int) -> bool:
+            if width < lower:
+                return False  # the bound is the certificate — no probe
+            if width not in cold_cache:
+                with PERF.timer("route.wmin.confirm"):
+                    cold_cache[width] = _cold_probe(
+                        arch, nets, width, max_iterations, engine
+                    )
+                if PERF.enabled:
+                    PERF.add("route.wmin.cold_probes")
+            return cold_cache[width]
+
+        def cold_pair(width: int, below: int) -> tuple[bool, bool]:
+            """Cold-probe ``width`` and ``below`` (concurrently if pooled)."""
+            if (
+                pool is not None
+                and width not in cold_cache
+                and below not in cold_cache
+                and below >= lower
+            ):
+                future = pool.submit(
+                    _cold_probe_worker, (arch, nets, below, max_iterations, engine)
+                )
+                ok = cold(width)
+                with PERF.timer("route.wmin.confirm"):
+                    cold_cache[below] = future.result()
+                if PERF.enabled:
+                    PERF.add("route.wmin.cold_probes")
+                return ok, cold_cache[below]
+            return cold(width), cold(below)
+
+        def confirmed(width: int) -> bool:
+            """True iff ``width`` cold-routes and ``width - 1`` does not."""
+            if width - 1 < lower:
+                return cold(width)
+            ok, ok_below = cold_pair(width, width - 1)
+            return ok and not ok_below
+
+        def cold_bisect(low: int, high: int) -> int:
+            """Plain bisection on the cold oracle; ``high`` is known good."""
+            while low < high:
+                mid = (low + high) // 2
+                if cold(mid):
+                    high = mid
+                else:
+                    low = mid + 1
+            return high
+
+        # --- start-width hint: confirm directly, two probes total -----
+        if start_width is not None:
+            hinted = max(lower, min(start_width, ceiling))
+            if confirmed(hinted):
+                if PERF.enabled:
+                    PERF.add("route.wmin.hint_hits")
+                return hinted
+            # Mis-hint: the cold cache keeps what we learned; fall
+            # through to the full search.
+
+        # --- phase A: warm candidate search ---------------------------
+        with PERF.timer("route.wmin.winf"):
+            warm_routes, peak = _route_winf(template, items := _indexed_items(template, nets))
+        warm_hist: list[float] | None = None
+        candidate = ceiling
+        if peak <= ceiling:
+            hi = peak  # the W∞ solution itself is legal at this width
+        else:
+            success, routes, hist, _iters, _aborted, counters = _warm_probe(
+                arch, items, ceiling, warm_routes, None, max_iterations
+            )
+            if PERF.enabled:
+                PERF.merge_counts(counters)
+            if success:
+                hi = ceiling
+                warm_routes, warm_hist = routes, hist
+            else:
+                hi = None  # no warm solution at all: cold probes decide
+        if hi is not None:
+            with PERF.timer("route.wmin.search"):
+                lo = lower
+                pending = None  # speculative (width, result) for the next round
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if pending is not None and pending[0] == mid:
+                        success, routes, hist = pending[1]
+                        pending = None
+                        if PERF.enabled:
+                            PERF.add("route.wmin.spec_hits")
+                    else:
+                        speculative = None
+                        if pool is not None and mid + 1 < hi:
+                            # The width probed next if ``mid`` fails —
+                            # same seed state either way, so the worker
+                            # computes exactly the sequential result.
+                            flank = (mid + 1 + hi) // 2
+                            speculative = (
+                                flank,
+                                pool.submit(
+                                    _warm_probe_worker,
+                                    (arch, items, flank, warm_routes,
+                                     warm_hist, max_iterations),
+                                ),
+                            )
+                        success, routes, hist, _iters, _aborted, counters = (
+                            _warm_probe(
+                                arch, items, mid, warm_routes, warm_hist,
+                                max_iterations,
+                            )
+                        )
+                        if PERF.enabled:
+                            PERF.merge_counts(counters)
+                        if speculative is not None:
+                            if success:
+                                speculative[1].cancel()
+                                if PERF.enabled:
+                                    PERF.add("route.wmin.spec_misses")
+                            else:
+                                s_ok, s_routes, s_hist, _i, _a, s_counters = (
+                                    speculative[1].result()
+                                )
+                                if PERF.enabled:
+                                    PERF.merge_counts(s_counters)
+                                pending = (speculative[0], (s_ok, s_routes, s_hist))
+                    if success:
+                        hi = mid
+                        warm_routes, warm_hist = routes, hist
+                    else:
+                        lo = mid + 1
+                candidate = hi
+
+        # --- phase B: cold confirmation -------------------------------
+        if candidate - 1 < lower:
+            ok, ok_below = cold(candidate), False
+        else:
+            ok, ok_below = cold_pair(candidate, candidate - 1)
+        if ok and not ok_below:
+            return candidate
+        if PERF.enabled:
+            PERF.add("route.wmin.confirm_mismatch")
+        if ok:  # candidate - 1 also cold-routes: the answer is below
+            return cold_bisect(lower, candidate - 1)
+        # The candidate itself doesn't cold-route: gallop the cold
+        # oracle upward, mirroring the reference schedule (and its
+        # raise boundary at the gallop ceiling).
+        low = candidate + 1
+        width = low
+        high = None
+        while width <= ceiling:
+            if cold(width):
+                high = width
+                break
+            low = width + 1
+            if width == ceiling:
+                break
+            width = min(width * 2, ceiling)
+        if high is None:
+            raise RuntimeError(f"unroutable even at channel width {max_width}")
+        return cold_bisect(low, high)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

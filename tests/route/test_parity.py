@@ -162,6 +162,34 @@ class TestCongestedParity:
             w_fast = fast_min_width(nets, placement.arch)
             assert w_fast <= w_ref, f"seed {seed}: {w_fast} > {w_ref}"
 
+    def test_heap_conservation_pops_never_exceed_pushes(self):
+        """Heap accounting: every pop is of a pushed entry, so pops can
+        never exceed pushes — and with target-key push pruning the two
+        should stay close (the old engine pushed ~46% more than it
+        popped)."""
+        from repro.perf import PERF
+
+        PERF.reset()
+        PERF.enable()
+        try:
+            for seed in range(8):
+                nl, placement = random_circuit(seed)
+                nets = pathfinder._routable_nets(nl, placement, True)
+                for width in (2, 3):
+                    pathfinder._route_design_fast(
+                        placement.arch, nets, width, 16, 0.5, 1.6
+                    )
+            snap = PERF.snapshot()["counters"]
+        finally:
+            PERF.disable()
+            PERF.reset()
+        pushes = snap.get("route.search_pushes", 0)
+        pops = snap.get("route.search_pops", 0)
+        assert pushes > 0
+        assert pops <= pushes, f"{pops} pops > {pushes} pushes"
+        # Stale skips are the pushes that were superseded before popping.
+        assert snap.get("route.search_stale", 0) <= pops
+
     def test_fast_succeeds_wherever_reference_does(self):
         """Direct statement of the fallback invariant at a fixed width."""
         for seed in range(15):
