@@ -61,6 +61,10 @@ from repro.api import (
     OptimizeResult,
     PlaceResult,
     RouteResult,
+    campaign_report,
+    campaign_resume,
+    campaign_run,
+    campaign_status,
     evaluate,
     load_design,
     optimize,
@@ -108,6 +112,10 @@ __all__ = [
     "RunConfig",
     "analyze",
     "api",
+    "campaign_report",
+    "campaign_resume",
+    "campaign_run",
+    "campaign_status",
     "evaluate",
     "load_design",
     "optimize",

@@ -396,6 +396,125 @@ def resume(
 
 
 # ----------------------------------------------------------------------
+# Campaigns (matrix experiment orchestration)
+# ----------------------------------------------------------------------
+
+
+def campaign_run(
+    campaign_dir: str | Path,
+    *,
+    circuits: str | list[str] = "all",
+    algorithms: str | list[str] = "local,rt,lex-3",
+    seeds: list[int] | tuple[int, ...] = (0,),
+    scale: float = 0.08,
+    effort: float = 1.0,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.5,
+    route_jobs: int = 1,
+    wmin_engine: str = "fast",
+    perf: bool = False,
+    trace: bool = False,
+    faults: dict[str, int] | None = None,
+    echo=None,
+):
+    """Start a new campaign: build the task matrix and execute it.
+
+    The matrix (circuits × algorithms × seeds, baselines feeding
+    variants) is recorded in ``campaign_dir/campaign.sqlite`` before any
+    work starts; every task outcome lands there as it completes, so the
+    campaign can be killed at any point and picked up with
+    :func:`campaign_resume`.  Returns a
+    :class:`repro.campaign.CampaignSummary`.
+    """
+    from repro.bench.suite import resolve_names
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignScheduler,
+        CampaignStore,
+        build_matrix,
+    )
+
+    config = CampaignConfig(
+        circuits=resolve_names(circuits),
+        algorithms=(
+            [token.strip() for token in algorithms.split(",")]
+            if isinstance(algorithms, str)
+            else list(algorithms)
+        ),
+        seeds=list(seeds),
+        scale=scale,
+        effort=effort,
+        route_jobs=route_jobs,
+        wmin_engine=wmin_engine,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        perf=perf,
+        trace=trace,
+        faults=dict(faults or {}),
+    )
+    store = CampaignStore.in_dir(campaign_dir)
+    if store.task_rows():
+        raise ValueError(
+            f"campaign at {campaign_dir} already has tasks; "
+            f"use campaign_resume()"
+        )
+    store.set_meta("config", config.to_dict())
+    store.add_tasks(build_matrix(config))
+    return CampaignScheduler(store, config, echo=echo).run()
+
+
+def campaign_resume(campaign_dir: str | Path, *, jobs: int | None = None, echo=None):
+    """Resume a killed/failed campaign: re-run only tasks not ``done``.
+
+    Completed tasks are never re-executed — their rows (and the W_min
+    warm-start cache) are reused as-is.  ``jobs`` optionally overrides
+    the stored worker count (results are identical either way).
+    """
+    from repro.campaign import CampaignScheduler, CampaignStore
+    from repro.campaign.report import load_config
+
+    store = CampaignStore.open_existing(campaign_dir)
+    config = load_config(store)
+    if jobs is not None:
+        config.jobs = jobs
+    store.reset_incomplete()
+    return CampaignScheduler(store, config, echo=echo).run()
+
+
+def campaign_status(campaign_dir: str | Path) -> str:
+    """Human-readable progress of a campaign directory."""
+    from repro.campaign import CampaignStore, render_status
+
+    return render_status(CampaignStore.open_existing(campaign_dir))
+
+
+def campaign_report(
+    campaign_dir: str | Path,
+    experiment: str = "table2",
+    *,
+    seed: int | None = None,
+    allow_partial: bool = False,
+) -> str:
+    """Render a results table from the store (see :mod:`repro.campaign.report`).
+
+    For a completed matrix the text is byte-identical to the sequential
+    ``repro bench`` output for the same circuits/algorithms/seed.
+    """
+    from repro.campaign import CampaignStore, render_report
+
+    return render_report(
+        CampaignStore.open_existing(campaign_dir),
+        experiment,
+        seed=seed,
+        allow_partial=allow_partial,
+    )
+
+
+# ----------------------------------------------------------------------
 # Run-directory plumbing
 # ----------------------------------------------------------------------
 

@@ -18,16 +18,26 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import time
 from dataclasses import dataclass, field
 
 from repro.arch.fpga import FpgaArch
 from repro.baselines.local_replication import best_of_runs
-from repro.bench.suite import LARGE_CIRCUITS, suite_circuit, suite_names
+from repro.bench.suite import LARGE_CIRCUITS, resolve_names, suite_circuit
+from repro.core.checkpoint import (
+    arch_from_dict,
+    arch_to_dict,
+    netlist_from_dict,
+    netlist_to_dict,
+    placement_from_dict,
+    placement_to_dict,
+    record_from_dict,
+    record_to_dict,
+)
 from repro.core.config import ReplicationConfig, RunConfig
 from repro.core.flow import OptimizationResult, optimize_replication
 from repro.netlist.netlist import Netlist
+from repro.paths import ensure_parent_dir
 from repro.perf import PERF
 from repro.place.placement import Placement
 from repro.place.timing_driven import place_timing_driven
@@ -60,6 +70,50 @@ class BaselineRun:
     density: float
     place_route_seconds: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready round-trip payload (exact: ids and dict orders).
+
+        Uses the id-preserving checkpoint serializers for the netlist
+        and placement, so a :func:`run_variant` on the reconstructed
+        baseline is bit-identical to one on the original — that is what
+        lets campaign variant tasks run in a different process than
+        their baseline.
+        """
+        return {
+            "name": self.name,
+            "arch": arch_to_dict(self.arch),
+            "netlist": netlist_to_dict(self.netlist),
+            "placement": placement_to_dict(self.placement),
+            "w_inf": self.w_inf,
+            "w_ls": self.w_ls,
+            "wirelength": self.wirelength,
+            "min_width": self.min_width,
+            "luts": self.luts,
+            "ios": self.ios,
+            "total_blocks": self.total_blocks,
+            "density": self.density,
+            "place_route_seconds": self.place_route_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BaselineRun":
+        arch = arch_from_dict(data["arch"])
+        return cls(
+            name=data["name"],
+            netlist=netlist_from_dict(data["netlist"]),
+            placement=placement_from_dict(data["placement"], arch),
+            arch=arch,
+            w_inf=data["w_inf"],
+            w_ls=data["w_ls"],
+            wirelength=data["wirelength"],
+            min_width=data["min_width"],
+            luts=data["luts"],
+            ios=data["ios"],
+            total_blocks=data["total_blocks"],
+            density=data["density"],
+            place_route_seconds=data["place_route_seconds"],
+        )
+
 
 @dataclass
 class VariantRun:
@@ -75,6 +129,36 @@ class VariantRun:
     unified: int = 0
     seconds: float = 0.0
     history: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready round-trip payload (floats survive exactly)."""
+        return {
+            "circuit": self.circuit,
+            "algorithm": self.algorithm,
+            "w_inf": self.w_inf,
+            "w_ls": self.w_ls,
+            "wirelength": self.wirelength,
+            "blocks": self.blocks,
+            "replicated": self.replicated,
+            "unified": self.unified,
+            "seconds": self.seconds,
+            "history": [record_to_dict(record) for record in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VariantRun":
+        return cls(
+            circuit=data["circuit"],
+            algorithm=data["algorithm"],
+            w_inf=data["w_inf"],
+            w_ls=data["w_ls"],
+            wirelength=data["wirelength"],
+            blocks=data["blocks"],
+            replicated=data["replicated"],
+            unified=data["unified"],
+            seconds=data["seconds"],
+            history=[record_from_dict(record) for record in data["history"]],
+        )
 
 
 def run_vpr_baseline(
@@ -188,6 +272,31 @@ def run_variant(
     )
 
 
+def run_matrix(
+    names: list[str],
+    algorithms: list[str],
+    make_baseline,
+    *,
+    effort: float = 1.0,
+    seed: int = 0,
+) -> dict[str, list[VariantRun]]:
+    """The sequential circuits×algorithms loop of table2/table3.
+
+    This loop order — per circuit: baseline, then every algorithm — is
+    the ordering contract the campaign engine's task indices reproduce,
+    which is what makes a store-rendered report byte-identical to the
+    sequential output.
+    """
+    runs: dict[str, list[VariantRun]] = {alg: [] for alg in algorithms}
+    for name in names:
+        baseline = make_baseline(name)
+        for algorithm in algorithms:
+            runs[algorithm].append(
+                run_variant(baseline, algorithm, effort=effort, seed=seed)
+            )
+    return runs
+
+
 def average(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
@@ -214,30 +323,23 @@ def averages_by_size(runs: list[VariantRun]) -> dict[str, dict[str, float]]:
 # W_min cache (per-run-dir warm-start hints)
 # ----------------------------------------------------------------------
 
-#: File in the run dir mapping "circuit@scale/seed" -> measured W_min.
-WMIN_CACHE_FILE = "wmin.json"
 
-
-def _wmin_cache_key(name: str, scale: float, seed: int) -> str:
+def wmin_cache_key(name: str, scale: float, seed: int) -> str:
+    """Key of one (circuit, scale, seed) in the W_min warm-start cache."""
     return f"{name}@{scale:g}/{seed}"
 
 
-def load_wmin_cache(run_dir: str) -> dict[str, int]:
-    """Per-circuit W_min results recorded by a previous run, if any."""
-    path = os.path.join(run_dir, WMIN_CACHE_FILE)
-    try:
-        with open(path) as handle:
-            data = json.load(handle)
-    except (OSError, ValueError):
-        return {}
-    return {k: v for k, v in data.items() if isinstance(v, int)}
+def open_wmin_cache(run_dir: str):
+    """The durable W_min warm-start cache of a run/campaign directory.
 
+    Lives in the directory's ``campaign.sqlite`` store (the cache was
+    promoted there from an ad-hoc ``wmin.json``, which is still imported
+    on first open), so warm starts survive restarts and are shared with
+    any campaign run out of the same directory.
+    """
+    from repro.campaign.store import CampaignStore
 
-def save_wmin_cache(run_dir: str, cache: dict[str, int]) -> None:
-    os.makedirs(run_dir, exist_ok=True)
-    with open(os.path.join(run_dir, WMIN_CACHE_FILE), "w") as handle:
-        json.dump(cache, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    return CampaignStore.in_dir(run_dir)
 
 
 # ----------------------------------------------------------------------
@@ -292,8 +394,8 @@ def main(argv: list[str] | None = None) -> int:
         "--run-dir",
         default=None,
         metavar="DIR",
-        help="record per-circuit W_min into DIR/wmin.json and warm-start "
-        "repeat evaluations from it",
+        help="record per-circuit W_min into DIR's campaign store and "
+        "warm-start repeat evaluations from it",
     )
     parser.add_argument(
         "--perf-json",
@@ -305,30 +407,30 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.perf_json is not None:
         # Fail before the (long) experiment, not after it.
-        parent = os.path.dirname(os.path.abspath(args.perf_json))
-        if not os.path.isdir(parent):
-            parser.error(f"--perf-json: directory {parent!r} does not exist")
+        try:
+            ensure_parent_dir(args.perf_json, create=False)
+        except FileNotFoundError as exc:
+            parser.error(f"--perf-json: {exc}")
 
-    if args.circuits in ("all", "small", "large"):
-        names = suite_names(args.circuits)
-    else:
-        names = [token.strip() for token in args.circuits.split(",")]
+    try:
+        names = resolve_names(args.circuits)
+    except ValueError as exc:
+        parser.error(f"--circuits: {exc}")
 
-    wmin_cache = load_wmin_cache(args.run_dir) if args.run_dir else {}
+    wmin_cache = open_wmin_cache(args.run_dir) if args.run_dir else None
 
     def make_baseline(name: str) -> BaselineRun:
-        key = _wmin_cache_key(name, args.scale, args.seed)
+        key = wmin_cache_key(name, args.scale, args.seed)
         baseline = run_vpr_baseline(
             name,
             scale=args.scale,
             seed=args.seed,
             route_jobs=args.route_jobs,
             wmin_engine=args.wmin_engine,
-            start_width=wmin_cache.get(key),
+            start_width=wmin_cache.wmin_get(key) if wmin_cache else None,
         )
-        if args.run_dir is not None:
-            wmin_cache[key] = baseline.min_width
-            save_wmin_cache(args.run_dir, wmin_cache)
+        if wmin_cache is not None:
+            wmin_cache.wmin_set(key, baseline.min_width)
         return baseline
 
     if args.experiment == "table1":
@@ -338,13 +440,9 @@ def main(argv: list[str] | None = None) -> int:
         algorithms = [token.strip() for token in args.algorithms.split(",")]
         if args.experiment == "table3" and args.algorithms == "local,rt,lex-3":
             algorithms = ["rt", "lex-mc", "lex-2", "lex-3", "lex-4", "lex-5"]
-        runs: dict[str, list[VariantRun]] = {alg: [] for alg in algorithms}
-        for name in names:
-            baseline = make_baseline(name)
-            for algorithm in algorithms:
-                runs[algorithm].append(
-                    run_variant(baseline, algorithm, effort=args.effort, seed=args.seed)
-                )
+        runs = run_matrix(
+            names, algorithms, make_baseline, effort=args.effort, seed=args.seed
+        )
         if args.experiment == "table2":
             print(tables.format_table2(runs, scale=args.scale))
         else:

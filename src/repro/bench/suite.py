@@ -73,3 +73,30 @@ def suite_names(subset: str = "all") -> list[str]:
     if subset == "small":
         return [spec.name for spec in SUITE_SPECS if spec.name not in LARGE_CIRCUITS]
     raise ValueError(f"unknown subset {subset!r}")
+
+
+def resolve_names(spec: str | list[str]) -> list[str]:
+    """Validate a ``--circuits`` value into a list of suite names.
+
+    Accepts the subset keywords (``all``/``small``/``large``), a CSV
+    string, or an already-split list.  Unknown names raise a
+    :class:`ValueError` that lists every valid name, so a typo fails
+    before the experiment starts instead of mid-suite.
+    """
+    if isinstance(spec, str):
+        if spec in ("all", "small", "large"):
+            return suite_names(spec)
+        names = [token.strip() for token in spec.split(",")]
+    else:
+        names = list(spec)
+    names = [name for name in names if name]
+    if not names:
+        raise ValueError("empty circuit list")
+    unknown = sorted(set(names) - set(SPEC_BY_NAME))
+    if unknown:
+        valid = ", ".join(spec.name for spec in SUITE_SPECS)
+        raise ValueError(
+            f"unknown circuit(s): {', '.join(unknown)}; "
+            f"valid names: {valid} (or 'all', 'small', 'large')"
+        )
+    return names

@@ -145,6 +145,70 @@ def build_parser() -> argparse.ArgumentParser:
                       help="show the top N spans by total time")
     view.set_defaults(func=cmd_trace_view)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="fault-tolerant parallel experiment matrix "
+        "(run/resume/status/report over a durable store)",
+    )
+    camp_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    crun = camp_sub.add_parser(
+        "run", help="start a new campaign in a directory"
+    )
+    crun.add_argument("campaign_dir", type=Path)
+    crun.add_argument("--circuits", default="all",
+                      help="'all', 'small', 'large' or CSV names")
+    crun.add_argument("--algorithms", default="local,rt,lex-3",
+                      help="CSV of replication algorithms")
+    crun.add_argument("--seeds", default="0",
+                      help="CSV of placement seeds (default: 0)")
+    crun.add_argument("--scale", type=float, default=0.08)
+    crun.add_argument("--effort", type=float, default=1.0)
+    crun.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (one task per process)")
+    crun.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="kill a task after S seconds (counts as a failure)")
+    crun.add_argument("--retries", type=int, default=2,
+                      help="re-runs after a task's first failure")
+    crun.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                      help="base retry delay; doubles per attempt")
+    crun.add_argument("--route-jobs", type=int, default=1, dest="route_jobs")
+    crun.add_argument("--wmin-engine", choices=("fast", "reference"),
+                      default="fast", dest="wmin_engine")
+    crun.add_argument("--perf", action="store_true",
+                      help="per-task perf snapshots into DIR/perf/")
+    crun.add_argument("--trace", action="store_true",
+                      help="per-task Chrome traces into DIR/trace/")
+    crun.add_argument("--inject-fault", action="append", default=[],
+                      dest="inject_fault", metavar="TASK=N",
+                      help="testing hook: fail TASK's first N attempts "
+                      "(negative N hangs, exercising --timeout)")
+    crun.set_defaults(func=cmd_campaign_run)
+
+    cresume = camp_sub.add_parser(
+        "resume", help="re-run only the tasks of a campaign not yet done"
+    )
+    cresume.add_argument("campaign_dir", type=Path)
+    cresume.add_argument("--jobs", type=int, default=None,
+                         help="override the stored worker count")
+    cresume.set_defaults(func=cmd_campaign_resume)
+
+    cstatus = camp_sub.add_parser("status", help="campaign progress")
+    cstatus.add_argument("campaign_dir", type=Path)
+    cstatus.set_defaults(func=cmd_campaign_status)
+
+    creport = camp_sub.add_parser(
+        "report", help="render a results table from the store"
+    )
+    creport.add_argument("campaign_dir", type=Path)
+    creport.add_argument("experiment", nargs="?", default="table2",
+                         choices=("table1", "table2", "table3"))
+    creport.add_argument("--seed", type=int, default=None,
+                         help="which matrix seed to render (default: first)")
+    creport.add_argument("--partial", action="store_true",
+                         help="render even when some tasks have no result")
+    creport.set_defaults(func=cmd_campaign_report)
+
     return parser
 
 
@@ -295,6 +359,102 @@ def cmd_trace_view(args) -> int:
         print(f"{row['name']:<{width}}  {row['count']:>6}  "
               f"{row['total_ms']:>10.2f}  {row['avg_ms']:>9.3f}  "
               f"{row['max_ms']:>9.3f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Campaign subcommands
+# ----------------------------------------------------------------------
+
+
+def _parse_faults(entries: list[str]) -> dict[str, int]:
+    faults: dict[str, int] = {}
+    for entry in entries:
+        task_id, _, count = entry.partition("=")
+        if not task_id or not count:
+            raise SystemExit(
+                f"repro campaign: bad --inject-fault {entry!r} "
+                f"(expected TASK=N)"
+            )
+        faults[task_id] = int(count)
+    return faults
+
+
+def _print_campaign_summary(summary) -> int:
+    print(
+        f"campaign finished in {summary.seconds:.1f}s: "
+        f"{summary.done} done, {summary.failed} failed, "
+        f"{summary.skipped} skipped (of {summary.total})"
+    )
+    for task_id, error in summary.failures.items():
+        last_line = error.strip().splitlines()[-1] if error.strip() else ""
+        print(f"  {task_id}: {last_line}", file=sys.stderr)
+    return 0 if summary.ok else 1
+
+
+def cmd_campaign_run(args) -> int:
+    try:
+        summary = api.campaign_run(
+            args.campaign_dir,
+            circuits=args.circuits,
+            algorithms=args.algorithms,
+            seeds=[int(token) for token in args.seeds.split(",")],
+            scale=args.scale,
+            effort=args.effort,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            route_jobs=args.route_jobs,
+            wmin_engine=args.wmin_engine,
+            perf=args.perf,
+            trace=args.trace,
+            faults=_parse_faults(args.inject_fault),
+            echo=print,
+        )
+    except ValueError as exc:
+        print(f"repro campaign run: {exc}", file=sys.stderr)
+        return 2
+    return _print_campaign_summary(summary)
+
+
+def cmd_campaign_resume(args) -> int:
+    from repro.campaign.store import CampaignStoreError
+
+    try:
+        summary = api.campaign_resume(
+            args.campaign_dir, jobs=args.jobs, echo=print
+        )
+    except CampaignStoreError as exc:
+        print(f"repro campaign resume: {exc}", file=sys.stderr)
+        return 2
+    return _print_campaign_summary(summary)
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.campaign.store import CampaignStoreError
+
+    try:
+        print(api.campaign_status(args.campaign_dir))
+    except CampaignStoreError as exc:
+        print(f"repro campaign status: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    from repro.campaign.store import CampaignStoreError
+
+    try:
+        print(api.campaign_report(
+            args.campaign_dir,
+            args.experiment,
+            seed=args.seed,
+            allow_partial=args.partial,
+        ))
+    except (CampaignStoreError, ValueError) as exc:
+        print(f"repro campaign report: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

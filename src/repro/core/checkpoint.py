@@ -32,6 +32,7 @@ from repro.arch.fpga import FpgaArch
 from repro.netlist.cells import Cell, CellType
 from repro.netlist.netlist import Netlist
 from repro.netlist.nets import Net
+from repro.paths import ensure_parent_dir
 from repro.place.placement import Placement
 
 CHECKPOINT_VERSION = 1
@@ -332,7 +333,7 @@ class Checkpointer:
         return (iteration + 1) % self.every == 0
 
     def save(self, state: FlowState) -> Path:
-        self.run_dir.mkdir(parents=True, exist_ok=True)
+        ensure_parent_dir(self.path)
         payload = state.to_payload(self.config, checkpoint_every=self.every)
         tmp = self.path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload))

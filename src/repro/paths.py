@@ -1,0 +1,30 @@
+"""Small filesystem helpers shared across the run/bench/campaign layers.
+
+Three writers used to carry their own copy of "make sure the directory
+this file goes into exists" — the benchmark runner's ``--perf-json``
+pre-flight check, the campaign result store, and the flow checkpoint
+writer.  They now share :func:`ensure_parent_dir`, which supports both
+policies: *create* the parent (the artifact writers) or *fail fast*
+before a long experiment starts (the runner's pre-flight check).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def ensure_parent_dir(path: str | Path, *, create: bool = True) -> Path:
+    """Return ``path`` as a :class:`Path` with an existing parent dir.
+
+    With ``create=True`` (default) the parent directory is created,
+    parents included.  With ``create=False`` the parent is only checked,
+    raising :class:`FileNotFoundError` when missing — the fail-before-
+    the-experiment policy of ``bench.runner --perf-json``.
+    """
+    path = Path(path)
+    parent = path.resolve().parent
+    if create:
+        parent.mkdir(parents=True, exist_ok=True)
+    elif not parent.is_dir():
+        raise FileNotFoundError(f"directory {str(parent)!r} does not exist")
+    return path

@@ -114,6 +114,20 @@ class PerfRegistry:
             "timers": {k: round(v, 6) for k, v in sorted(self._timers.items())},
         }
 
+    def write_snapshot(self, path) -> None:
+        """Dump :meth:`snapshot` as JSON, creating parent directories.
+
+        Campaign workers use this to drop a per-task perf snapshot into
+        the campaign directory's ``perf/`` subdir.
+        """
+        import json
+
+        from repro.paths import ensure_parent_dir
+
+        with open(ensure_parent_dir(path), "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
     def format(self) -> str:
         """Human-readable report (the ``overhead`` experiment prints it)."""
         lines = []

@@ -177,8 +177,10 @@ class SpanTracer:
         return payload
 
     def write(self, path, metadata: dict | None = None) -> None:
-        """Write the Chrome trace JSON to ``path``."""
-        with open(path, "w") as handle:
+        """Write the Chrome trace JSON to ``path`` (parents created)."""
+        from repro.paths import ensure_parent_dir
+
+        with open(ensure_parent_dir(path), "w") as handle:
             json.dump(self.to_chrome(metadata), handle)
             handle.write("\n")
 
@@ -206,7 +208,9 @@ def stop_tracing(path=None, metadata: dict | None = None) -> dict:
     TRACER.disable()
     trace = TRACER.to_chrome(metadata)
     if path is not None:
-        with open(path, "w") as handle:
+        from repro.paths import ensure_parent_dir
+
+        with open(ensure_parent_dir(path), "w") as handle:
             json.dump(trace, handle)
             handle.write("\n")
     return trace
