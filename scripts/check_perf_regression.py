@@ -15,6 +15,11 @@ column recorded in the committed baseline (regenerate with
 ``scripts/bench_perf.py --quick`` and merge under that key).  With no
 comparable column the gate passes with a notice rather than comparing
 apples to oranges.
+
+The routing hot-path timers (``--gate-timers``, default
+``route.negotiate`` and ``route.wmin.confirm``) are gated the same way,
+against the baseline's ``timers`` (same-shape runs) or ``quick_timers``
+(quick run vs committed full baseline) column.
 """
 
 from __future__ import annotations
@@ -45,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
         "--min-seconds", type=float, default=0.005,
         help="ignore phases whose baseline is below this (sub-millisecond "
         "phases are timer noise at any relative threshold)",
+    )
+    parser.add_argument(
+        "--gate-timers", default="route.negotiate,route.wmin.confirm",
+        metavar="CSV",
+        help="PERF timers gated like phases on same-shape runs "
+        "(empty to disable)",
     )
     args = parser.parse_args(argv)
 
@@ -90,6 +101,34 @@ def main(argv: list[str] | None = None) -> int:
             flag = "  REGRESSION"
         print(f"{name:<{width}}  {base_s:>10.4f}  {cur_s:>10.4f}  "
               f"{ratio:>5.2f}x{flag}")
+
+    # Named PERF timers (the routing hot paths) are gated like phases,
+    # but only between same-shape runs: the committed full-size timer
+    # totals say nothing about a --quick run's absolute numbers.
+    gated_timers = [t for t in args.gate_timers.split(",") if t]
+    if cur_quick == base_quick:
+        base_timers: dict[str, float] = baseline.get("timers", {})
+    elif cur_quick and "quick_timers" in baseline:
+        base_timers = baseline["quick_timers"]
+    else:
+        base_timers = {}
+    if gated_timers and base_timers:
+        cur_timers: dict[str, float] = current.get("timers", {})
+        for name in gated_timers:
+            cur_s = cur_timers.get(name)
+            base_s = base_timers.get(name)
+            if cur_s is None or not base_s:
+                print(f"timer {name}: not present in both runs, not gated")
+                continue
+            ratio = cur_s / base_s
+            flag = ""
+            if base_s < args.min_seconds:
+                flag = "  (below --min-seconds, not gated)"
+            elif ratio > 1.0 + args.threshold:
+                failures.append((f"timer {name}", base_s, cur_s, ratio))
+                flag = "  REGRESSION"
+            print(f"timer {name}: {base_s:.4f}s -> {cur_s:.4f}s  "
+                  f"{ratio:.2f}x{flag}")
 
     if failures:
         print()

@@ -147,13 +147,20 @@ class OptimizeResult:
 
 @dataclass
 class RouteResult:
-    """Outcome of :func:`route`: routed timing at two channel widths."""
+    """Outcome of :func:`route`: routed timing at two channel widths.
+
+    ``engine``/``kernel`` record which router engine and negotiation
+    kernel actually produced the result (the *resolved* kernel — never
+    ``"auto"``), so run artifacts are attributable.
+    """
 
     w_inf: float
     w_ls: float
     channel_width: int
     wirelength: int
     seconds: float = 0.0
+    engine: str = "fast"
+    kernel: str = "scalar"
 
 
 @dataclass
@@ -306,21 +313,31 @@ def route(
     placement: Placement,
     *,
     jobs: int = 1,
+    engine: str = "fast",
     wmin_engine: str = "fast",
     start_width: int | None = None,
+    route_kernel: str | None = None,
 ) -> RouteResult:
     """Low-stress + infinite routing with routed-timing STA.
 
     ``wmin_engine``/``start_width``/``jobs`` tune the W_min search (see
-    :func:`repro.route.find_min_channel_width`); the reported metrics
-    are identical for every setting.
+    :func:`repro.route.find_min_channel_width`) and ``route_kernel``
+    selects the fast engine's negotiation kernel
+    (``scalar``/``vector``/``auto``); the reported metrics are identical
+    for every setting.
     """
+    from repro.route.kernels import resolve_kernel
+
     start = time.perf_counter()
     low = route_low_stress(
-        design.netlist, placement,
+        design.netlist, placement, engine=engine,
         wmin_engine=wmin_engine, jobs=jobs, start_width=start_width,
+        kernel=route_kernel,
     )
-    infinite = route_infinite(design.netlist, placement, jobs=jobs)
+    infinite = route_infinite(
+        design.netlist, placement, engine=engine, jobs=jobs,
+        kernel=route_kernel,
+    )
     w_ls = routed_critical_delay(design.netlist, placement, low)
     w_inf = routed_critical_delay(design.netlist, placement, infinite)
     return RouteResult(
@@ -329,6 +346,8 @@ def route(
         channel_width=low.channel_width,
         wirelength=w_ls.wirelength,
         seconds=time.perf_counter() - start,
+        engine=engine,
+        kernel=resolve_kernel(route_kernel).name if engine == "fast" else "none",
     )
 
 
@@ -414,6 +433,7 @@ def campaign_run(
     backoff: float = 0.5,
     route_jobs: int = 1,
     wmin_engine: str = "fast",
+    route_kernel: str | None = None,
     perf: bool = False,
     trace: bool = False,
     faults: dict[str, int] | None = None,
@@ -448,6 +468,7 @@ def campaign_run(
         effort=effort,
         route_jobs=route_jobs,
         wmin_engine=wmin_engine,
+        route_kernel=route_kernel,
         jobs=jobs,
         timeout=timeout,
         retries=retries,

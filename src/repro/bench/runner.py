@@ -69,6 +69,12 @@ class BaselineRun:
     total_blocks: int
     density: float
     place_route_seconds: float
+    #: Provenance: which W_min search engine and negotiation kernel
+    #: produced the routing numbers (kernel is the *resolved* name,
+    #: never "auto").  Defaults match payloads recorded before these
+    #: fields existed.
+    wmin_engine: str = "fast"
+    route_kernel: str = "scalar"
 
     def to_dict(self) -> dict:
         """JSON-ready round-trip payload (exact: ids and dict orders).
@@ -93,6 +99,8 @@ class BaselineRun:
             "total_blocks": self.total_blocks,
             "density": self.density,
             "place_route_seconds": self.place_route_seconds,
+            "wmin_engine": self.wmin_engine,
+            "route_kernel": self.route_kernel,
         }
 
     @classmethod
@@ -112,6 +120,8 @@ class BaselineRun:
             total_blocks=data["total_blocks"],
             density=data["density"],
             place_route_seconds=data["place_route_seconds"],
+            wmin_engine=data.get("wmin_engine", "fast"),
+            route_kernel=data.get("route_kernel", "scalar"),
         )
 
 
@@ -129,6 +139,9 @@ class VariantRun:
     unified: int = 0
     seconds: float = 0.0
     history: list = field(default_factory=list)
+    #: Resolved negotiation kernel that re-routed this variant (never
+    #: "auto"); defaults match payloads recorded before the field existed.
+    route_kernel: str = "scalar"
 
     def to_dict(self) -> dict:
         """JSON-ready round-trip payload (floats survive exactly)."""
@@ -143,6 +156,7 @@ class VariantRun:
             "unified": self.unified,
             "seconds": self.seconds,
             "history": [record_to_dict(record) for record in self.history],
+            "route_kernel": self.route_kernel,
         }
 
     @classmethod
@@ -158,6 +172,7 @@ class VariantRun:
             unified=data["unified"],
             seconds=data["seconds"],
             history=[record_from_dict(record) for record in data["history"]],
+            route_kernel=data.get("route_kernel", "scalar"),
         )
 
 
@@ -169,13 +184,17 @@ def run_vpr_baseline(
     route_jobs: int = 1,
     wmin_engine: str = "fast",
     start_width: int | None = None,
+    route_kernel: str | None = None,
 ) -> BaselineRun:
     """Generate, place (timing-driven SA) and route one suite circuit.
 
-    ``wmin_engine``/``start_width`` tune the W_min search only — the
-    measured width is identical either way (``start_width`` typically
-    comes from a previous run's cache, see ``--run-dir``).
+    ``wmin_engine``/``start_width``/``route_kernel`` tune the W_min
+    search and router only — the measured width is identical for every
+    setting (``start_width`` typically comes from a previous run's
+    cache, see ``--run-dir``).
     """
+    from repro.route.kernels import resolve_kernel
+
     start = time.perf_counter()
     netlist, arch = suite_circuit(name, scale=scale)
     placement, _stats = place_timing_driven(
@@ -184,9 +203,14 @@ def run_vpr_baseline(
     min_width = find_min_channel_width(
         netlist, placement,
         wmin_engine=wmin_engine, jobs=route_jobs, start_width=start_width,
+        kernel=route_kernel,
     )
-    low = route_low_stress(netlist, placement, min_width=min_width)
-    infinite = route_infinite(netlist, placement, jobs=route_jobs)
+    low = route_low_stress(
+        netlist, placement, min_width=min_width, kernel=route_kernel
+    )
+    infinite = route_infinite(
+        netlist, placement, jobs=route_jobs, kernel=route_kernel
+    )
     elapsed = time.perf_counter() - start
 
     w_ls = routed_critical_delay(netlist, placement, low).critical_delay
@@ -205,6 +229,8 @@ def run_vpr_baseline(
         total_blocks=netlist.num_cells,
         density=arch.density(netlist.num_logic_blocks),
         place_route_seconds=elapsed,
+        wmin_engine=wmin_engine,
+        route_kernel=resolve_kernel(route_kernel).name,
     )
 
 
@@ -233,8 +259,11 @@ def run_variant(
     batch_sinks: int = 1,
     jobs: int = 1,
     route_jobs: int = 1,
+    route_kernel: str | None = None,
 ) -> VariantRun:
     """Run one optimization algorithm against a baseline and re-route."""
+    from repro.route.kernels import resolve_kernel
+
     netlist = baseline.netlist.clone()
     placement = baseline.placement.copy()
     start = time.perf_counter()
@@ -252,8 +281,12 @@ def run_variant(
         history = opt.history
     seconds = time.perf_counter() - start
 
-    low = route_low_stress(netlist, placement, min_width=baseline.min_width)
-    infinite = route_infinite(netlist, placement, jobs=route_jobs)
+    low = route_low_stress(
+        netlist, placement, min_width=baseline.min_width, kernel=route_kernel
+    )
+    infinite = route_infinite(
+        netlist, placement, jobs=route_jobs, kernel=route_kernel
+    )
     w_ls = routed_critical_delay(netlist, placement, low).critical_delay
     w_inf = routed_critical_delay(netlist, placement, infinite).critical_delay
     return VariantRun(
@@ -269,6 +302,7 @@ def run_variant(
         unified=unified,
         seconds=seconds,
         history=history,
+        route_kernel=resolve_kernel(route_kernel).name,
     )
 
 
@@ -279,6 +313,7 @@ def run_matrix(
     *,
     effort: float = 1.0,
     seed: int = 0,
+    route_kernel: str | None = None,
 ) -> dict[str, list[VariantRun]]:
     """The sequential circuits×algorithms loop of table2/table3.
 
@@ -292,7 +327,10 @@ def run_matrix(
         baseline = make_baseline(name)
         for algorithm in algorithms:
             runs[algorithm].append(
-                run_variant(baseline, algorithm, effort=effort, seed=seed)
+                run_variant(
+                    baseline, algorithm, effort=effort, seed=seed,
+                    route_kernel=route_kernel,
+                )
             )
     return runs
 
@@ -391,6 +429,13 @@ def main(argv: list[str] | None = None) -> int:
         help="W_min search strategy (identical widths either way)",
     )
     parser.add_argument(
+        "--route-kernel",
+        choices=("auto", "scalar", "vector"),
+        default="auto",
+        help="negotiation kernel for the fast router "
+        "(bit-identical results; auto = vector when numpy is available)",
+    )
+    parser.add_argument(
         "--run-dir",
         default=None,
         metavar="DIR",
@@ -428,6 +473,7 @@ def main(argv: list[str] | None = None) -> int:
             route_jobs=args.route_jobs,
             wmin_engine=args.wmin_engine,
             start_width=wmin_cache.wmin_get(key) if wmin_cache else None,
+            route_kernel=args.route_kernel,
         )
         if wmin_cache is not None:
             wmin_cache.wmin_set(key, baseline.min_width)
@@ -441,7 +487,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.experiment == "table3" and args.algorithms == "local,rt,lex-3":
             algorithms = ["rt", "lex-mc", "lex-2", "lex-3", "lex-4", "lex-5"]
         runs = run_matrix(
-            names, algorithms, make_baseline, effort=args.effort, seed=args.seed
+            names, algorithms, make_baseline, effort=args.effort,
+            seed=args.seed, route_kernel=args.route_kernel,
         )
         if args.experiment == "table2":
             print(tables.format_table2(runs, scale=args.scale))
@@ -449,7 +496,10 @@ def main(argv: list[str] | None = None) -> int:
             print(tables.format_table3(runs, scale=args.scale))
     elif args.experiment == "fig14":
         baseline = make_baseline("ex1010")
-        run = run_variant(baseline, "rt", effort=args.effort, seed=args.seed)
+        run = run_variant(
+            baseline, "rt", effort=args.effort, seed=args.seed,
+            route_kernel=args.route_kernel,
+        )
         print(tables.format_fig14(run, scale=args.scale))
     elif args.experiment == "overhead":
         # The overhead experiment is the perf-observability entry point:
@@ -469,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
                 batch_sinks=args.batch_sinks,
                 jobs=args.jobs,
                 route_jobs=args.route_jobs,
+                route_kernel=args.route_kernel,
             )
             total_pr += baseline.place_route_seconds
             total_opt += run.seconds

@@ -90,6 +90,7 @@ class CampaignConfig:
     effort: float = 1.0
     route_jobs: int = 1
     wmin_engine: str = "fast"
+    route_kernel: str | None = None
     jobs: int = 1
     timeout: float | None = None
     retries: int = 2

@@ -92,6 +92,7 @@ def execute_task(payload: dict) -> dict:
                 route_jobs=payload.get("route_jobs", 1),
                 wmin_engine=payload.get("wmin_engine", "fast"),
                 start_width=payload.get("start_width"),
+                route_kernel=payload.get("route_kernel"),
             )
         else:
             baseline = BaselineRun.from_dict(payload["baseline"])
@@ -101,6 +102,7 @@ def execute_task(payload: dict) -> dict:
                 effort=payload.get("effort", 1.0),
                 seed=task["seed"],
                 route_jobs=payload.get("route_jobs", 1),
+                route_kernel=payload.get("route_kernel"),
             )
         return run.to_dict()
     finally:
@@ -319,6 +321,7 @@ class CampaignScheduler:
             "effort": config.effort,
             "route_jobs": config.route_jobs,
             "wmin_engine": config.wmin_engine,
+            "route_kernel": config.route_kernel,
             "perf": config.perf,
             "trace": config.trace,
             "campaign_dir": str(self.campaign_dir),

@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--route-jobs", type=int, default=1, dest="route_jobs",
                      help="worker processes for W-infinity routing "
                      "(results are bit-identical for any value)")
+    run.add_argument("--route-kernel", choices=("auto", "scalar", "vector"),
+                     default="auto", dest="route_kernel",
+                     help="negotiation kernel for the fast router "
+                     "(bit-identical results; auto = vector with numpy)")
     run.add_argument("--run-dir", type=Path,
                      help="run directory: journal.jsonl, checkpoint.json, "
                      "trace.json, result.json")
@@ -121,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="start_width", metavar="W",
                        help="warm-start the W_min search at this width "
                        "(e.g. a prior run's result; never changes the answer)")
+    route.add_argument("--route-kernel", choices=("auto", "scalar", "vector"),
+                       default="auto", dest="route_kernel",
+                       help="negotiation kernel for the fast router "
+                       "(bit-identical results; auto = vector with numpy)")
     route.set_defaults(func=cmd_route)
 
     bench = sub.add_parser(
@@ -175,6 +183,8 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--route-jobs", type=int, default=1, dest="route_jobs")
     crun.add_argument("--wmin-engine", choices=("fast", "reference"),
                       default="fast", dest="wmin_engine")
+    crun.add_argument("--route-kernel", choices=("auto", "scalar", "vector"),
+                      default="auto", dest="route_kernel")
     crun.add_argument("--perf", action="store_true",
                       help="per-task perf snapshots into DIR/perf/")
     crun.add_argument("--trace", action="store_true",
@@ -283,7 +293,13 @@ def cmd_run(args) -> int:
         if args.perf and not PERF.enabled:
             PERF.reset()
             PERF.enable()
-        _print_routing(api.route(design, placement, jobs=args.route_jobs))
+        routed = api.route(
+            design, placement, jobs=args.route_jobs,
+            route_kernel=args.route_kernel,
+        )
+        _print_routing(routed)
+        if args.run_dir is not None:
+            _record_route_result(args.run_dir, routed)
 
     if args.perf and PERF.enabled:
         PERF.disable()
@@ -307,6 +323,7 @@ def cmd_route(args) -> int:
     _print_routing(api.route(
         design, placed.placement, jobs=args.route_jobs,
         wmin_engine=args.wmin_engine, start_width=args.start_width,
+        route_kernel=args.route_kernel,
     ))
     return 0
 
@@ -315,8 +332,27 @@ def _print_routing(routed: api.RouteResult) -> None:
     print(
         f"routed: W_inf {routed.w_inf:.2f}  "
         f"W_ls {routed.w_ls:.2f} (W={routed.channel_width:g})  "
-        f"wire {routed.wirelength}"
+        f"wire {routed.wirelength}  [{routed.engine}/{routed.kernel}]"
     )
+
+
+def _record_route_result(run_dir: Path, routed: api.RouteResult) -> None:
+    """Merge routing metrics + engine/kernel provenance into result.json."""
+    path = Path(run_dir) / api.RESULT_FILE
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        payload = {}
+    payload["route"] = {
+        "w_inf": routed.w_inf,
+        "w_ls": routed.w_ls,
+        "channel_width": routed.channel_width,
+        "wirelength": routed.wirelength,
+        "seconds": round(routed.seconds, 3),
+        "engine": routed.engine,
+        "kernel": routed.kernel,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def cmd_bench(args) -> int:
@@ -407,6 +443,7 @@ def cmd_campaign_run(args) -> int:
             backoff=args.backoff,
             route_jobs=args.route_jobs,
             wmin_engine=args.wmin_engine,
+            route_kernel=args.route_kernel,
             perf=args.perf,
             trace=args.trace,
             faults=_parse_faults(args.inject_fault),

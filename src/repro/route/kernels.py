@@ -1,0 +1,219 @@
+"""Batched negotiation kernels: per-iteration pricing as whole-vector ops.
+
+PathFinder's negotiation loop does four kinds of per-segment work once
+per iteration, outside the per-net searches:
+
+* **pricing** — the congestion cost of every segment at the current
+  present-sharing factor (the heap loop then reads the priced vector
+  instead of recomputing ``(1 + h) * (1 + pres * over)`` per edge);
+* **history accrual** — adding ``increment * overuse`` to every
+  over-used segment's history cost;
+* **overuse masks** — which segments are over capacity (rip-up
+  targeting) and whether any are (success test);
+* **rip-up scheduling** — which nets cross an over-used segment and
+  must re-route this iteration.
+
+Two interchangeable kernel implementations compute them:
+
+* :class:`ScalarKernel` — pure-Python loops, the reference semantics
+  (selected with ``--route-kernel=scalar``);
+* :class:`VectorKernel` — the same arithmetic as NumPy whole-vector
+  expressions (``--route-kernel=vector``, the default when NumPy is
+  importable).
+
+**Bit-identity.**  The vector expressions are not merely numerically
+close — they are bit-identical to the scalar branches.  The scalar
+pricing computes ``(1 + h) * (1 + pres * over)`` when ``over > 0`` and
+``1 + h`` otherwise; the vector form
+``(1 + h) * (1 + pres * max(u + 1 - W, 0))`` folds both branches into
+one expression, and the fold is exact because the congested branch is
+literally the same operation sequence while the uncongested branch
+multiplies by exactly ``1.0`` — which IEEE-754 guarantees is the
+identity.  Every elementwise NumPy add/multiply is correctly rounded
+double arithmetic, the same as CPython's, so priced vectors, history
+updates and overuse masks agree bit-for-bit between kernels (enforced by
+``tests/route/test_kernels.py`` across random graphs and occupancy
+states).  A search over either kernel therefore takes identical
+decisions, and every router/W_min result is kernel-independent.
+"""
+
+from __future__ import annotations
+
+try:  # NumPy is an optional dependency: the scalar kernel needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+
+class ScalarKernel:
+    """Pure-Python pricing loops — the reference the vector kernel must match."""
+
+    name = "scalar"
+
+    @staticmethod
+    def congestion_costs(
+        usage: list[int], history: list[float], width: float, present_factor: float
+    ) -> list[float]:
+        """Per-segment PathFinder cost vector at the given present factor.
+
+        Entry ``s`` equals ``IndexedRoutingGraph.congestion_cost(s, pres)``
+        exactly (same branches, same float ops).
+        """
+        out = [0.0] * len(usage)
+        for s, used in enumerate(usage):
+            over = used + 1 - width
+            if over > 0.0:
+                out[s] = (1.0 + history[s]) * (1.0 + present_factor * over)
+            else:
+                out[s] = 1.0 + history[s]
+        return out
+
+    @staticmethod
+    def accrue_history(
+        usage: list[int], history: list[float], width: float, increment: float
+    ) -> bool:
+        """Add ``increment * overuse`` to every over-used segment's history.
+
+        Returns True when any segment accrued (the graph's
+        ``has_history`` latch).
+        """
+        accrued = False
+        for s, used in enumerate(usage):
+            if used > width:
+                history[s] += increment * (used - width)
+                accrued = True
+        return accrued
+
+    @staticmethod
+    def overused_segments(usage: list[int], width: float) -> list[int]:
+        return [s for s, used in enumerate(usage) if used > width]
+
+    @staticmethod
+    def overuse_flags(usage: list[int], width: float) -> bytearray:
+        flags = bytearray(len(usage))
+        for s, used in enumerate(usage):
+            if used > width:
+                flags[s] = 1
+        return flags
+
+    @staticmethod
+    def total_overuse(usage: list[int], width: float) -> int:
+        return sum(int(used - width) for used in usage if used > width)
+
+    @staticmethod
+    def select_targets(items, routes: dict[int, list[int]], flags) -> list:
+        """Nets whose current route crosses a flagged segment (rip-up set)."""
+        return [
+            item for item in items if any(flags[s] for s in routes[item[0]])
+        ]
+
+
+class VectorKernel:
+    """NumPy whole-vector pricing — bit-identical to :class:`ScalarKernel`."""
+
+    name = "vector"
+
+    @staticmethod
+    def congestion_costs(
+        usage: list[int], history: list[float], width: float, present_factor: float
+    ) -> list[float]:
+        u = _np.asarray(usage, dtype=_np.float64)
+        h = _np.asarray(history, dtype=_np.float64)
+        over = _np.maximum(u + 1.0 - width, 0.0)
+        # over == 0 multiplies by exactly 1.0 — the IEEE identity — so
+        # the single expression reproduces both scalar branches.
+        cost = (1.0 + h) * (1.0 + present_factor * over)
+        return cost.tolist()
+
+    @staticmethod
+    def accrue_history(
+        usage: list[int], history: list[float], width: float, increment: float
+    ) -> bool:
+        u = _np.asarray(usage, dtype=_np.float64)
+        over = u - width
+        mask = over > 0.0
+        if not mask.any():
+            return False
+        h = _np.asarray(history, dtype=_np.float64)
+        h[mask] += increment * over[mask]
+        history[:] = h.tolist()
+        return True
+
+    @staticmethod
+    def overused_segments(usage: list[int], width: float) -> list[int]:
+        u = _np.asarray(usage, dtype=_np.float64)
+        return _np.flatnonzero(u > width).tolist()
+
+    @staticmethod
+    def overuse_flags(usage: list[int], width: float) -> bytearray:
+        u = _np.asarray(usage, dtype=_np.float64)
+        return bytearray((u > width).astype(_np.uint8).tobytes())
+
+    @staticmethod
+    def total_overuse(usage: list[int], width: float) -> int:
+        u = _np.asarray(usage, dtype=_np.float64)
+        over = u - width
+        over = over[over > 0.0]
+        # Truncate per segment, not after summing: the scalar reference
+        # applies int() to each term, which differs at fractional widths.
+        return int(_np.floor(over).sum())
+
+    @staticmethod
+    def select_targets(items, routes: dict[int, list[int]], flags) -> list:
+        """Batched rip-up scheduling: one gather + segmented any().
+
+        Concatenates every net's segment ids into one flat vector,
+        gathers the overuse flags, and reduces per net — no Python-level
+        per-segment loop.
+        """
+        if not items:
+            return []
+        counts = _np.fromiter(
+            (len(routes[item[0]]) for item in items),
+            dtype=_np.intp,
+            count=len(items),
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return []
+        flat = _np.fromiter(
+            (s for item in items for s in routes[item[0]]),
+            dtype=_np.intp,
+            count=total,
+        )
+        hits = _np.frombuffer(bytes(flags), dtype=_np.uint8)[flat]
+        offsets = _np.zeros(len(items), dtype=_np.intp)
+        _np.cumsum(counts[:-1], out=offsets[1:])
+        nonempty = _np.flatnonzero(counts)
+        any_hit = _np.zeros(len(items), dtype=bool)
+        # reduceat over the non-empty groups only: consecutive starts
+        # bound each group exactly (empty groups contribute no elements).
+        any_hit[nonempty] = _np.maximum.reduceat(hits, offsets[nonempty]) > 0
+        return [item for item, hit in zip(items, any_hit) if hit]
+
+
+_SCALAR = ScalarKernel()
+_VECTOR = VectorKernel() if _np is not None else None
+
+#: Kernel picked by ``resolve_kernel(None)`` / ``"auto"``.
+DEFAULT_KERNEL = "vector" if _np is not None else "scalar"
+
+
+def available_kernels() -> list[str]:
+    return ["scalar", "vector"] if _np is not None else ["scalar"]
+
+
+def resolve_kernel(name: str | None):
+    """Kernel instance for a knob value (``None``/"auto" -> best available)."""
+    if name is None or name == "auto":
+        name = DEFAULT_KERNEL
+    if name == "scalar":
+        return _SCALAR
+    if name == "vector":
+        if _VECTOR is None:
+            raise RuntimeError(
+                "route kernel 'vector' requires numpy; install it or use "
+                "--route-kernel=scalar"
+            )
+        return _VECTOR
+    raise ValueError(f"unknown route kernel {name!r}")

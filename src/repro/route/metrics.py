@@ -39,6 +39,7 @@ def find_min_channel_width(
     wmin_engine: str = "fast",
     jobs: int = 1,
     start_width: int | None = None,
+    kernel: str | None = None,
 ) -> int:
     """Smallest routable channel width, per the reference probe protocol.
 
@@ -54,7 +55,9 @@ def find_min_channel_width(
       affecting the returned width.
 
     ``engine`` still selects the per-width *router* (fast/reference
-    PathFinder), independently of the search strategy.
+    PathFinder) and ``kernel`` the fast router's negotiation kernel
+    (scalar/vector — bit-identical results), independently of the
+    search strategy.
     """
     with PERF.timer("route.wmin"):
         if wmin_engine == "fast":
@@ -66,13 +69,15 @@ def find_min_channel_width(
                 engine=engine,
                 jobs=jobs,
                 start_width=start_width,
+                kernel=kernel,
             )
         if wmin_engine != "reference":
             raise ValueError(f"unknown wmin engine: {wmin_engine!r}")
 
         def success_at(width: int) -> bool:
             return route_design(
-                netlist, placement, width, max_iterations, engine=engine
+                netlist, placement, width, max_iterations, engine=engine,
+                kernel=kernel,
             ).success
 
         return galloping_bisect(success_at, max_width)
@@ -87,16 +92,17 @@ def route_low_stress(
     wmin_engine: str = "fast",
     jobs: int = 1,
     start_width: int | None = None,
+    kernel: str | None = None,
 ) -> RoutingResult:
     """Route with ~20% spare tracks over the minimum ([18]'s low stress)."""
     if min_width is None:
         min_width = find_min_channel_width(
             netlist, placement, engine=engine, wmin_engine=wmin_engine,
-            jobs=jobs, start_width=start_width,
+            jobs=jobs, start_width=start_width, kernel=kernel,
         )
     width = max(min_width + 1, math.ceil(min_width * (1.0 + stress_margin)))
     with PERF.timer("route.lowstress"):
-        return route_design(netlist, placement, width, engine=engine)
+        return route_design(netlist, placement, width, engine=engine, kernel=kernel)
 
 
 def route_infinite(
@@ -104,16 +110,18 @@ def route_infinite(
     placement: Placement,
     engine: str = "fast",
     jobs: int = 1,
+    kernel: str | None = None,
 ) -> RoutingResult:
     """Route with unbounded resources (every net on a shortest tree).
 
     ``jobs > 1`` fans the (independent) per-net searches out across
-    worker processes; results are bit-identical for any job count.
+    worker processes; results are bit-identical for any job count (and
+    for either ``kernel``).
     """
     with PERF.timer("route.winf"):
         return route_design(
             netlist, placement, math.inf, max_iterations=1,
-            engine=engine, jobs=jobs,
+            engine=engine, jobs=jobs, kernel=kernel,
         )
 
 

@@ -109,6 +109,7 @@ def route_design(
     timing_driven: bool = True,
     engine: str = "fast",
     jobs: int = 1,
+    kernel: str | None = None,
 ) -> RoutingResult:
     """Route every net; negotiate congestion until legal or give up.
 
@@ -122,7 +123,11 @@ def route_design(
     reference oracle; ``jobs > 1`` parallelizes the congestion-free
     ``W∞`` protocol across worker processes (ignored for finite widths,
     where negotiation is inherently order-dependent; results are
-    bit-identical for any job count).
+    bit-identical for any job count).  ``kernel`` selects the batched
+    negotiation kernel (``"scalar"``/``"vector"``; ``None``/``"auto"``
+    picks vector when NumPy is available) — results are bit-identical
+    either way (see :mod:`repro.route.kernels`); the reference engine
+    has no kernels and ignores the knob.
     """
     nets = _routable_nets(netlist, placement, timing_driven)
     if engine == "reference":
@@ -136,7 +141,7 @@ def route_design(
         return _route_winf_parallel(placement.arch, nets, jobs, max_iterations)
     return _route_design_fast(
         placement.arch, nets, channel_width,
-        max_iterations, present_factor, present_growth,
+        max_iterations, present_factor, present_growth, kernel=kernel,
     )
 
 
@@ -382,11 +387,11 @@ def _search_to_target(
     state: _SearchState,
     tree_nodes: list[int],
     target: int,
-    pres: float,
     crit: float,
     bbox: tuple[int, int, int, int],
     uniform: bool,
     exact: bool,
+    ub: float = math.inf,
 ) -> bool:
     """One tree-to-sink search; returns True when ``target`` was reached.
 
@@ -396,12 +401,19 @@ def _search_to_target(
     lookahead weight is zero and this is an exact replay of the
     reference Dijkstra (see module docstring); otherwise an admissible
     Manhattan lookahead (per-hop floor, deflated by 1e-12 against float
-    round-up) prunes the expansion toward the sink.
+    round-up) prunes the expansion toward the sink.  Congested searches
+    read per-segment congestion from the graph's kernel-priced cost
+    cache (``ig.seg_cost``), which the caller must have refreshed at the
+    current present-sharing factor.
+
+    ``ub`` is an optional incumbent upper bound on the target's final
+    heap key (see :func:`_route_net_fast`): the push gate starts from it
+    instead of +inf, so entries provably popping after the target are
+    never pushed at all.
     """
     xs, ys = ig.xs, ig.ys
     adj = ig.adj
-    usage, history = ig.usage, ig.history
-    width = ig.channel_width
+    cost_arr = ig.seg_cost
     best, parent, parent_seg = state.best, state.parent, state.parent_seg
     stamp = state.stamp
     hops = state.hops
@@ -440,18 +452,25 @@ def _search_to_target(
     # Heap-churn control: every pop is counted (so ``pops <= pushes`` is
     # a conservation invariant), entries dominated by the per-node best
     # array are skipped as *stale* before any expansion work, and — once
-    # the target has been reached — entries that would pop strictly
-    # after the target's heap entry (``(f, v) > (best[target], target)``
+    # the target's key is bounded — entries that would pop strictly
+    # after the target's heap entry (``(f, v) > (tbest, target)``
     # in heap order) are never pushed at all.  The per-node arrays are
     # still updated for pruned entries, so domination tests behave
     # exactly as if the entry sat unpopped in the heap; since the
     # target's key only ever improves, a pruned entry could never have
     # been popped before the target and therefore never influences the
-    # realized parent chain.  Pruning is thus exact, not heuristic.
+    # realized parent chain.  ``tbest`` starts from the caller's
+    # incumbent bound ``ub`` (+inf when none): any entry above a valid
+    # upper bound on the target's final key is equally dead on arrival,
+    # so the gate engages from the very first push instead of only after
+    # the target is first reached.  Pruning is thus exact, not
+    # heuristic, whenever ``ub`` upper-bounds the search's own optimum
+    # (guaranteed in exact mode; see the window caveat in
+    # :func:`_route_net_fast` for heuristic windows).
     pops = 0
     stale = 0
     found = False
-    tbest = math.inf  # target's current heap key (inf until reached)
+    tbest = ub if not uniform else math.inf  # target's current heap key bound
     if uniform:
         # Uniform regime: congestion cost is exactly 1.0 on every edge,
         # so the step collapses to a per-search constant (same float as
@@ -496,12 +515,7 @@ def _search_to_target(
             for v, s, x, y in adj[u]:
                 if x < bx0 or x > bx1 or y < by0 or y > by1:
                     continue
-                over = usage[s] + 1 - width
-                if over > 0.0:
-                    congestion = (1.0 + history[s]) * (1.0 + pres * over)
-                else:
-                    congestion = 1.0 + history[s]
-                c = g + (crit + one_minus * congestion)
+                c = g + (crit + one_minus * cost_arr[s])
                 if stamp[v] != gen:
                     stamp[v] = gen
                 elif c >= best[v] - 1e-12:
@@ -524,6 +538,32 @@ def _search_to_target(
     return found
 
 
+def _old_tree_parents(
+    ig: IndexedRoutingGraph, old_segs: list[int], source: int
+) -> dict[int, tuple[int, int]]:
+    """BFS parents over a net's previous route tree.
+
+    Maps each slot reachable from ``source`` through ``old_segs`` to its
+    ``(parent slot, segment id)`` — enough to walk the old source→sink
+    path of any sink and price it under the current costs.
+    """
+    seg_u, seg_v = ig.seg_u, ig.seg_v
+    adjacency: dict[int, list[tuple[int, int]]] = {}
+    for s in old_segs:
+        u, v = seg_u[s], seg_v[s]
+        adjacency.setdefault(u, []).append((v, s))
+        adjacency.setdefault(v, []).append((u, s))
+    parents = {source: (-1, -1)}
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        for v, s in adjacency.get(u, ()):
+            if v not in parents:
+                parents[v] = (u, s)
+                stack.append(v)
+    return parents
+
+
 def _route_net_fast(
     ig: IndexedRoutingGraph,
     state: _SearchState,
@@ -533,12 +573,25 @@ def _route_net_fast(
     present_factor: float,
     criticality: dict[int, float],
     exact: bool = False,
+    old_segs: list[int] | None = None,
 ) -> list[int]:
     """Route one net over the indexed graph; returns segment ids in
     append order (the reference engine's walk-back order).
 
     ``exact`` disables the congested-regime heuristics (A* lookahead and
     bounded windows) so every search replays the reference Dijkstra.
+
+    ``old_segs`` is the net's just-ripped-up route (segment ids).  For a
+    congested search it supplies an *incumbent upper bound*: the old
+    source→sink path, re-priced under the current costs in the search's
+    own accumulation order, is a feasible solution, so the target's
+    final key cannot exceed its cost (plus ``hops * 1e-12`` slack for
+    the strict-improvement rule).  Seeding the push gate with that bound
+    prunes heap traffic from the first push.  The bound is an exact
+    optimization whenever the old path lies inside the search window —
+    always true in exact mode (full grid); a heuristic window that clips
+    the old path can at worst force the existing full-grid retry, never
+    an incorrect route.
     """
     xs, ys = ig.xs, ig.ys
     arch = ig.arch
@@ -558,6 +611,7 @@ def _route_net_fast(
     bx0 = bx1 = xs[source]
     by0 = by1 = ys[source]
 
+    old_parents: dict[int, tuple[int, int]] | None = None
     remaining = sorted(sinks, key=lambda s: (-criticality[s], s))
     for target in remaining:
         if tstamp[target] == tgen:
@@ -573,25 +627,50 @@ def _route_net_fast(
         # to detour outside the tree∪target box, so they start wider —
         # and in exact mode they get the whole grid, like the reference.
         uniform = ig.uniform_cost()
+        ub = math.inf
         if uniform:
             margin = _UNIFORM_MARGIN
             window = (wx0 - margin, wx1 + margin, wy0 - margin, wy1 + margin)
-        elif exact:
-            window = (0, grid_x1, 0, grid_y1)
         else:
-            margin = _CONGESTED_MARGIN
-            window = (wx0 - margin, wx1 + margin, wy0 - margin, wy1 + margin)
+            if exact:
+                window = (0, grid_x1, 0, grid_y1)
+            else:
+                margin = _CONGESTED_MARGIN
+                window = (wx0 - margin, wx1 + margin, wy0 - margin, wy1 + margin)
+            # Congested searches read the kernel-priced cost cache;
+            # refresh lazily if stale (first congested net of an
+            # iteration, or a mid-iteration uniform→congested flip).
+            if ig.seg_cost is None or ig._cost_pres != present_factor:
+                ig.refresh_costs(present_factor)
+            if old_segs:
+                # Incumbent bound: re-price the old source→sink path in
+                # the search's own accumulation order (docstring above).
+                if old_parents is None:
+                    old_parents = _old_tree_parents(ig, old_segs, source)
+                if target in old_parents:
+                    path_segs: list[int] = []
+                    cursor = target
+                    while cursor != source:
+                        cursor, s = old_parents[cursor]
+                        path_segs.append(s)
+                    cost_arr = ig.seg_cost
+                    one_minus = 1.0 - crit
+                    bound = 0.0
+                    for s in reversed(path_segs):
+                        bound += crit + one_minus * cost_arr[s]
+                    ub = bound + len(path_segs) * 1e-12
         found = _search_to_target(
-            ig, state, tree_nodes, target, present_factor, crit,
-            window, uniform, exact,
+            ig, state, tree_nodes, target, crit,
+            window, uniform, exact, ub,
         )
         if not found and window != (0, grid_x1, 0, grid_y1):
-            # Safety net: grow to the full grid (unreachable in theory —
-            # the grid is connected and all costs are finite).
+            # Safety net: grow to the full grid (heuristic windows can
+            # need it when the incumbent bound clips a detour; uniform
+            # searches never do — the grid is connected, costs finite).
             state.retries += 1
             found = _search_to_target(
-                ig, state, tree_nodes, target, present_factor, crit,
-                (0, grid_x1, 0, grid_y1), uniform, exact,
+                ig, state, tree_nodes, target, crit,
+                (0, grid_x1, 0, grid_y1), uniform, exact, ub,
             )
         if not found:
             break  # disconnected graph (cannot happen on grids)
@@ -650,8 +729,10 @@ def _route_design_fast(
     present_factor: float,
     present_growth: float,
     exact: bool = False,
+    kernel: str | None = None,
 ) -> RoutingResult:
-    ig = IndexedRoutingGraph(arch, channel_width)
+    ig = IndexedRoutingGraph(arch, channel_width, kernel)
+    kern = ig.kernel
     state = _SearchState(ig.num_slots, ig.num_segments)
     index = ig.slot_index
     items = [
@@ -680,23 +761,22 @@ def _route_design_fast(
         else:
             # Incremental negotiation: rip up and re-route only nets
             # crossing an over-used segment; every other tree is reused.
-            over_flag = bytearray(ig.num_segments)
-            for s in ig.overused_segments():
-                over_flag[s] = 1
-            targets = [
-                item
-                for item in items
-                if any(over_flag[s] for s in seg_routes[item[0]])
-            ]
+            # Both the overuse mask and the net-crossing test are one
+            # batched kernel call each.
+            over_flag = kern.overuse_flags(ig.usage, ig.channel_width)
+            targets = kern.select_targets(items, seg_routes, over_flag)
             ripped += len(targets)
         with PERF.timer("route.negotiate"):
+            if not ig.uniform_cost():
+                ig.refresh_costs(pres)
             for net_id, src, sink_ids, crit_ids in targets:
                 old = seg_routes.get(net_id)
                 if old is not None:
                     for s in old:
                         ig.release(s)
                 segs = _route_net_fast(
-                    ig, state, net_id, src, sink_ids, pres, crit_ids, exact
+                    ig, state, net_id, src, sink_ids, pres, crit_ids, exact,
+                    old_segs=old,
                 )
                 seg_routes[net_id] = segs
                 routed += 1
@@ -730,6 +810,7 @@ def _route_design_fast(
         return _route_design_fast(
             arch, nets, channel_width,
             max_iterations, present_factor, present_growth, exact=True,
+            kernel=kern.name,
         )
 
     routes = {

@@ -35,6 +35,7 @@ from array import array
 from collections import defaultdict
 
 from repro.arch.fpga import FpgaArch, Slot
+from repro.route.kernels import resolve_kernel
 
 #: A channel segment between two adjacent slots, canonically ordered.
 Segment = tuple[Slot, Slot]
@@ -130,12 +131,22 @@ class IndexedRoutingGraph:
         nbr_seg: Segment id per CSR edge (one id per unordered pair).
         seg_slots: Canonical ``(Slot, Slot)`` tuple per segment id, for
             converting integer routes back to the public representation.
+        seg_u / seg_v: Endpoint slot ids per segment id (for walking a
+            route's segments as a graph without tuple lookups).
         usage / history: Per-segment occupancy and PathFinder history.
+        kernel: The negotiation kernel (scalar or vector) used for the
+            per-iteration batched pricing/masking work.
+        seg_cost: The per-segment congestion-cost cache for the current
+            negotiation iteration (``None`` when stale); see
+            :meth:`refresh_costs`.
     """
 
-    def __init__(self, arch: FpgaArch, channel_width: float) -> None:
+    def __init__(
+        self, arch: FpgaArch, channel_width: float, kernel: str | None = None
+    ) -> None:
         self.arch = arch
         self.channel_width = channel_width
+        self.kernel = resolve_kernel(kernel)
 
         slot_set = set(arch.logic_slots()) | set(arch.pad_slots())
         slots = sorted(slot_set)
@@ -156,6 +167,8 @@ class IndexedRoutingGraph:
                     seg_slots.append((a, b))
         self.seg_slots: list[Segment] = seg_slots
         self.num_segments = len(seg_slots)
+        self.seg_u = array("i", (self.slot_index[a] for a, _b in seg_slots))
+        self.seg_v = array("i", (self.slot_index[b] for _a, b in seg_slots))
 
         # CSR adjacency, neighbour probe order matching RoutingGraph.
         index = self.slot_index
@@ -189,6 +202,10 @@ class IndexedRoutingGraph:
         #: True once any segment has accrued history cost (cheap flag so
         #: searches can detect the uniform-cost regime in O(1)).
         self.has_history = False
+        #: Per-segment congestion costs for the current iteration, or
+        #: ``None`` when not priced / stale (see :meth:`refresh_costs`).
+        self.seg_cost: list[float] | None = None
+        self._cost_pres = 0.0
         # Running totals, maintained incrementally by occupy/release.
         self._wirelength = 0
         self._overuse = 0
@@ -207,6 +224,15 @@ class IndexedRoutingGraph:
                 self._overuse += 1
             if used - 1 < self.channel_width:
                 self._at_capacity += 1
+        cost = self.seg_cost
+        if cost is not None:
+            over = used + 1 - self.channel_width
+            if over > 0.0:
+                cost[seg_id] = (1.0 + self.history[seg_id]) * (
+                    1.0 + self._cost_pres * over
+                )
+            else:
+                cost[seg_id] = 1.0 + self.history[seg_id]
 
     def release(self, seg_id: int) -> None:
         used = self.usage[seg_id]
@@ -215,8 +241,18 @@ class IndexedRoutingGraph:
                 self._overuse -= 1
             if used - 1 < self.channel_width:
                 self._at_capacity -= 1
-        self.usage[seg_id] = used - 1
+        used -= 1
+        self.usage[seg_id] = used
         self._wirelength -= 1
+        cost = self.seg_cost
+        if cost is not None:
+            over = used + 1 - self.channel_width
+            if over > 0.0:
+                cost[seg_id] = (1.0 + self.history[seg_id]) * (
+                    1.0 + self._cost_pres * over
+                )
+            else:
+                cost[seg_id] = 1.0 + self.history[seg_id]
 
     def total_overuse(self) -> int:
         return self._overuse
@@ -240,16 +276,30 @@ class IndexedRoutingGraph:
             over = 0.0
         return (1.0 + self.history[seg_id]) * (1.0 + present_factor * over)
 
+    def refresh_costs(self, present_factor: float) -> list[float]:
+        """(Re)price every segment at ``present_factor`` via the kernel.
+
+        The resulting vector is cached in :attr:`seg_cost`; subsequent
+        :meth:`occupy`/:meth:`release` calls keep the touched entry
+        up to date with the identical two-branch scalar formula, so the
+        cache is always exactly what a fresh kernel pricing would
+        produce.  :meth:`accrue_history` invalidates it (history changes
+        every over-used segment at once — cheaper to re-vectorize).
+        """
+        self._cost_pres = present_factor
+        self.seg_cost = self.kernel.congestion_costs(
+            self.usage, self.history, self.channel_width, present_factor
+        )
+        return self.seg_cost
+
     def accrue_history(self, increment: float = 1.0) -> None:
         """Add history cost on every currently over-used segment."""
-        width = self.channel_width
-        history = self.history
-        for seg_id, used in enumerate(self.usage):
-            if used > width:
-                history[seg_id] += increment * (used - width)
-                self.has_history = True
+        if self.kernel.accrue_history(
+            self.usage, self.history, self.channel_width, increment
+        ):
+            self.has_history = True
+        self.seg_cost = None
 
     def overused_segments(self) -> list[int]:
         """Segment ids currently over capacity (for incremental rip-up)."""
-        width = self.channel_width
-        return [s for s, used in enumerate(self.usage) if used > width]
+        return self.kernel.overused_segments(self.usage, self.channel_width)

@@ -22,17 +22,31 @@ around four ideas:
    now-illegal segments, and negotiates incrementally — PathFinder
    converges far faster from a near-legal state than from scratch.
 
-3. **Early-abort negotiation.**  A warm probe whose over-use stops
-   improving for :data:`_PLATEAU_ABORT` consecutive iterations is
-   declared hopeless and abandoned.  Warm successes and warm failures
-   alike only *steer* the search; neither ever decides the returned
-   width.  The candidate the warm search converges to is confirmed by
-   **full-effort cold probes** — the exact ``route_design`` calls the
-   reference protocol would make — at the candidate and at
-   ``candidate - 1``.  On the (rare) mismatch the engine falls back to
-   cold probes entirely, so under the same monotone-routability
-   assumption the original bisection makes, the returned width is
-   identical to :func:`galloping_bisect` over the cold oracle —
+3. **Early-abort negotiation, replay-verified confirmation.**  A warm
+   probe whose over-use stops improving for :data:`_PLATEAU_ABORT`
+   consecutive iterations is declared hopeless and abandoned — warm
+   probes only *steer* the bisection; they never decide the returned
+   width.  The candidate the warm search converges to is then
+   confirmed: the success side stays an exact **cold probe** at the
+   candidate (the same ``route_design`` call the reference protocol
+   makes — cheap, success probes converge fast), while the expensive
+   failure side at ``candidate - 1`` is replaced by a **replay-verified
+   pair** — the candidate's solution is independently re-verified to be
+   legal (usage rebuilt from the routes, overuse recomputed by the
+   kernel), and a *full-effort* probe (plateau abort disabled) seeded
+   from the pristine ``W∞`` solution with no history replays the
+   descent to ``candidate - 1``.  The history-free seed is deliberate:
+   it is the trajectory closest to the cold probe the replay stands in
+   for, where the warm state's accrued history can wedge the descent a
+   fresh start completes.  A replay success means the warm search
+   overshot: the candidate slides down onto the replay's solution and
+   is confirmed again.  A replay failure is taken for the cold failure
+   it replays — the protocol's one assumption, sibling to the
+   monotone-routability assumption the reference bisection itself
+   makes, and enforced empirically by the width-equality suites.  Any
+   observable mismatch (verification failure, or the candidate failing
+   its cold probe) falls back to full cold probes, so the returned
+   width matches :func:`galloping_bisect` over the cold oracle —
    including its quirk of raising when ``W_min`` exceeds the largest
    power-of-two gallop probe ``<= max_width``.
 
@@ -247,6 +261,8 @@ def _warm_probe(
     seg_routes: dict[int, list[int]],
     history: list[float] | None,
     max_iterations: int,
+    kernel: str | None = None,
+    full_effort: bool = False,
 ):
     """Negotiate ``width`` starting from a prior solution + decayed history.
 
@@ -254,11 +270,14 @@ def _warm_probe(
     that are over-used at the new width, and negotiates incrementally; a
     plateau of :data:`_PLATEAU_ABORT` non-improving iterations aborts
     the probe (after one full re-route attempt, mirroring the fast
-    engine's wedge recovery).  Returns ``(success, routes, history,
-    iterations, aborted, counters)``; the routes/history of a successful
-    probe seed the next one.
+    engine's wedge recovery).  With ``full_effort`` the plateau abort is
+    disabled and all ``max_iterations`` are spent (the replay-verified
+    confirmation's failure-side probe).  Returns ``(success, routes,
+    history, iterations, aborted, counters)``; the routes/history of a
+    successful probe seed the next one.
     """
-    ig = IndexedRoutingGraph(arch, width)
+    ig = IndexedRoutingGraph(arch, width, kernel)
+    kern = ig.kernel
     state = _SearchState(ig.num_slots, ig.num_segments)
     if history is not None:
         decayed = [h * _HISTORY_DECAY for h in history]
@@ -282,19 +301,17 @@ def _warm_probe(
         if full_reroute:
             targets = items
         else:
-            over_flag = bytearray(ig.num_segments)
-            for s in ig.overused_segments():
-                over_flag[s] = 1
-            targets = [
-                item
-                for item in items
-                if any(over_flag[s] for s in routes[item[0]])
-            ]
+            over_flag = kern.overuse_flags(ig.usage, ig.channel_width)
+            targets = kern.select_targets(items, routes, over_flag)
+        if not ig.uniform_cost():
+            ig.refresh_costs(pres)
         for net_id, source, sink_ids, crit_ids in targets:
-            for s in routes[net_id]:
+            old = routes[net_id]
+            for s in old:
                 release(s)
             segs = _route_net_fast(
-                ig, state, net_id, source, sink_ids, pres, crit_ids
+                ig, state, net_id, source, sink_ids, pres, crit_ids,
+                old_segs=old,
             )
             routes[net_id] = segs
             for s in segs:
@@ -305,7 +322,7 @@ def _warm_probe(
             break
         if prev_overuse is not None and overuse >= prev_overuse:
             stall += 1
-            if stall >= _PLATEAU_ABORT:
+            if not full_effort and stall >= _PLATEAU_ABORT:
                 aborted = True
                 break
             full_reroute = True  # wedged on the reduced move set
@@ -329,8 +346,27 @@ def _warm_probe(
 
 def _warm_probe_worker(payload):
     """Worker-process wrapper for speculative warm probes."""
-    arch, items, width, seg_routes, history, max_iterations = payload
-    return _warm_probe(arch, items, width, seg_routes, history, max_iterations)
+    arch, items, width, seg_routes, history, max_iterations, kernel = payload
+    return _warm_probe(
+        arch, items, width, seg_routes, history, max_iterations, kernel
+    )
+
+
+def _verify_solution(
+    num_segments: int, routes: dict[int, list[int]], width: float, kern
+) -> bool:
+    """Independently re-check that a solution is legal at ``width``.
+
+    Rebuilds the per-segment usage vector from the routes alone (no
+    incremental bookkeeping is trusted) and asks the kernel for the
+    total overuse — the replay-verification half of the confirmation
+    protocol.
+    """
+    usage = [0] * num_segments
+    for segs in routes.values():
+        for s in segs:
+            usage[s] += 1
+    return kern.total_overuse(usage, width) == 0
 
 
 # ----------------------------------------------------------------------
@@ -344,6 +380,7 @@ def _cold_probe(
     width: int,
     max_iterations: int,
     engine: str,
+    kernel: str | None = None,
 ) -> bool:
     """One full-effort cold probe — the same engine call, on the same
     deterministic net list, that ``route_design`` would make, so the
@@ -354,14 +391,15 @@ def _cold_probe(
         )
     else:
         result = _route_design_fast(
-            arch, nets, width, max_iterations, _PRESENT_FACTOR, _PRESENT_GROWTH
+            arch, nets, width, max_iterations, _PRESENT_FACTOR, _PRESENT_GROWTH,
+            kernel=kernel,
         )
     return result.success
 
 
 def _cold_probe_worker(payload) -> bool:
-    arch, nets, width, max_iterations, engine = payload
-    return _cold_probe(arch, nets, width, max_iterations, engine)
+    arch, nets, width, max_iterations, engine, kernel = payload
+    return _cold_probe(arch, nets, width, max_iterations, engine, kernel)
 
 
 # ----------------------------------------------------------------------
@@ -377,19 +415,21 @@ def find_min_channel_width_fast(
     engine: str = "fast",
     jobs: int = 1,
     start_width: int | None = None,
+    kernel: str | None = None,
 ) -> int:
     """Warm-started, bound-pruned, speculative W_min search.
 
     Returns the same width as the reference galloping bisection (under
-    its own monotone-routability assumption), for any ``jobs`` count and
-    any ``start_width`` hint; see the module docstring for the protocol.
+    its own monotone-routability assumption), for any ``jobs`` count,
+    any ``start_width`` hint and either negotiation ``kernel``; see the
+    module docstring for the protocol.
     """
     arch = placement.arch
     nets = _routable_nets(netlist, placement, True)
     ceiling = _gallop_ceiling(max_width)
     if not nets:
         return 1  # reference: the width-1 probe trivially succeeds
-    template = IndexedRoutingGraph(arch, math.inf)
+    template = IndexedRoutingGraph(arch, math.inf, kernel)
     lower = demand_lower_bound(template, nets)
     if PERF.enabled:
         PERF.add("route.wmin.searches")
@@ -407,7 +447,7 @@ def find_min_channel_width_fast(
             if width not in cold_cache:
                 with PERF.timer("route.wmin.confirm"):
                     cold_cache[width] = _cold_probe(
-                        arch, nets, width, max_iterations, engine
+                        arch, nets, width, max_iterations, engine, kernel
                     )
                 if PERF.enabled:
                     PERF.add("route.wmin.cold_probes")
@@ -422,7 +462,8 @@ def find_min_channel_width_fast(
                 and below >= lower
             ):
                 future = pool.submit(
-                    _cold_probe_worker, (arch, nets, below, max_iterations, engine)
+                    _cold_probe_worker,
+                    (arch, nets, below, max_iterations, engine, kernel),
                 )
                 ok = cold(width)
                 with PERF.timer("route.wmin.confirm"):
@@ -431,13 +472,6 @@ def find_min_channel_width_fast(
                     PERF.add("route.wmin.cold_probes")
                 return ok, cold_cache[below]
             return cold(width), cold(below)
-
-        def confirmed(width: int) -> bool:
-            """True iff ``width`` cold-routes and ``width - 1`` does not."""
-            if width - 1 < lower:
-                return cold(width)
-            ok, ok_below = cold_pair(width, width - 1)
-            return ok and not ok_below
 
         def cold_bisect(low: int, high: int) -> int:
             """Plain bisection on the cold oracle; ``high`` is known good."""
@@ -449,34 +483,75 @@ def find_min_channel_width_fast(
                     low = mid + 1
             return high
 
-        # --- start-width hint: confirm directly, two probes total -----
+        def replay_probe(width: int, seed_routes, seed_hist):
+            """Full-effort seeded probe (the confirmation's failure side)."""
+            with PERF.timer("route.wmin.replay"):
+                ok, routes, hist, _iters, _aborted, counters = _warm_probe(
+                    arch, items, width, seed_routes, seed_hist,
+                    max_iterations, kernel, full_effort=True,
+                )
+            if PERF.enabled:
+                counters = dict(counters)
+                # A replay is its own probe class, not a warm probe.
+                counters.pop("route.wmin.warm_probes", None)
+                PERF.merge_counts(counters)
+                PERF.add("route.wmin.replay_probes")
+            return ok, routes, hist
+
+        # The W∞ solution seeds both the hint check and the warm search.
+        with PERF.timer("route.wmin.winf"):
+            items = _indexed_items(template, nets)
+            warm_routes, peak = _route_winf(template, items)
+        warm_hist: list[float] | None = None
+        # Pristine W∞ snapshot: probe seeds are never mutated (each probe
+        # copies them), so holding the reference is enough.  The
+        # confirmation replays from this history-free seed only.
+        winf_routes = warm_routes
+
+        # --- start-width hint: one cold probe + one replay probe ------
+        hi = None
         if start_width is not None:
             hinted = max(lower, min(start_width, ceiling))
-            if confirmed(hinted):
-                if PERF.enabled:
-                    PERF.add("route.wmin.hint_hits")
-                return hinted
-            # Mis-hint: the cold cache keeps what we learned; fall
+            if cold(hinted):
+                if hinted - 1 < lower:
+                    if PERF.enabled:
+                        PERF.add("route.wmin.hint_hits")
+                    return hinted
+                ok_below, routes, hist = replay_probe(
+                    hinted - 1, warm_routes, warm_hist
+                )
+                if not ok_below:
+                    # Same verdict the reference hint path reaches with
+                    # a second cold probe (see phase B's exactness
+                    # argument: a full-effort seeded probe that fails is
+                    # taken as the cold failure it replays).
+                    if PERF.enabled:
+                        PERF.add("route.wmin.hint_hits")
+                    return hinted
+                # Hint too high: the replay probe found a legal
+                # solution below it — bisect down from there.
+                warm_routes, warm_hist = routes, hist
+                hi = hinted - 1
+            # Mis-hint low: the cold cache keeps what we learned; fall
             # through to the full search.
 
         # --- phase A: warm candidate search ---------------------------
-        with PERF.timer("route.wmin.winf"):
-            warm_routes, peak = _route_winf(template, items := _indexed_items(template, nets))
-        warm_hist: list[float] | None = None
         candidate = ceiling
-        if peak <= ceiling:
-            hi = peak  # the W∞ solution itself is legal at this width
-        else:
-            success, routes, hist, _iters, _aborted, counters = _warm_probe(
-                arch, items, ceiling, warm_routes, None, max_iterations
-            )
-            if PERF.enabled:
-                PERF.merge_counts(counters)
-            if success:
-                hi = ceiling
-                warm_routes, warm_hist = routes, hist
+        if hi is None:
+            if peak <= ceiling:
+                hi = peak  # the W∞ solution itself is legal at this width
             else:
-                hi = None  # no warm solution at all: cold probes decide
+                success, routes, hist, _iters, _aborted, counters = _warm_probe(
+                    arch, items, ceiling, warm_routes, None, max_iterations,
+                    kernel,
+                )
+                if PERF.enabled:
+                    PERF.merge_counts(counters)
+                if success:
+                    hi = ceiling
+                    warm_routes, warm_hist = routes, hist
+                else:
+                    hi = None  # no warm solution at all: cold probes decide
         if hi is not None:
             with PERF.timer("route.wmin.search"):
                 lo = lower
@@ -500,13 +575,13 @@ def find_min_channel_width_fast(
                                 pool.submit(
                                     _warm_probe_worker,
                                     (arch, items, flank, warm_routes,
-                                     warm_hist, max_iterations),
+                                     warm_hist, max_iterations, kernel),
                                 ),
                             )
                         success, routes, hist, _iters, _aborted, counters = (
                             _warm_probe(
                                 arch, items, mid, warm_routes, warm_hist,
-                                max_iterations,
+                                max_iterations, kernel,
                             )
                         )
                         if PERF.enabled:
@@ -530,8 +605,61 @@ def find_min_channel_width_fast(
                         lo = mid + 1
                 candidate = hi
 
-        # --- phase B: cold confirmation -------------------------------
-        if candidate - 1 < lower:
+        # --- phase B: replay-verified confirmation --------------------
+        # The reference protocol's last two probes are cold routes at
+        # ``candidate`` (succeeds) and ``candidate - 1`` (fails).  The
+        # success side stays an exact cold probe — success probes
+        # converge in a handful of iterations, so it is cheap.  The
+        # failure side — the expensive probe, a full ``max_iterations``
+        # cold negotiation — is replaced by a *replay-verified* pair:
+        # the warm solution is independently re-checked to be legal at
+        # ``candidate`` (so the width we are about to certify has a real
+        # solution), and a full-effort probe seeded from the pristine
+        # W∞ solution replays the descent to ``candidate - 1``.  If
+        # that replay *succeeds*, the warm search overshot: slide the
+        # candidate down onto the replay's solution and confirm again
+        # (each slide strictly decreases the candidate, so this
+        # terminates).  If it *fails*, its verdict is taken for the
+        # cold failure it replays — the one assumption in the
+        # protocol, sibling to the monotone-routability assumption
+        # the reference bisection itself makes, and enforced empirically
+        # by the width-equality suites.  Any observable mismatch
+        # (verification failure, or the candidate failing its cold
+        # probe) falls back to the full cold protocol below, unchanged.
+        if hi is not None:
+            while True:
+                if candidate - 1 < lower:
+                    if cold(candidate):
+                        return candidate
+                    break  # cold gallop decides below
+                if not _verify_solution(
+                    template.num_segments, warm_routes, candidate,
+                    template.kernel,
+                ):
+                    if PERF.enabled:
+                        PERF.add("route.wmin.verify_failures")
+                    break  # distrust the warm state entirely
+                # Replay from the pristine W∞ seed with no history —
+                # the same seed the hint path replays from, and the
+                # trajectory closest to the cold probe this stands in
+                # for.  The warm state's accrued history can wedge the
+                # descent where a fresh start does not (observed on
+                # misex3), so it is never used as a replay seed.
+                ok_below, routes, hist = replay_probe(
+                    candidate - 1, winf_routes, None
+                )
+                if ok_below:
+                    candidate -= 1
+                    warm_routes, warm_hist = routes, hist
+                    if PERF.enabled:
+                        PERF.add("route.wmin.replay_slides")
+                    continue
+                if cold(candidate):
+                    return candidate
+                break  # cold gallop decides below
+
+        # --- fallback: the original cold confirmation -----------------
+        if candidate - 1 < lower or cold_cache.get(candidate) is False:
             ok, ok_below = cold(candidate), False
         else:
             ok, ok_below = cold_pair(candidate, candidate - 1)

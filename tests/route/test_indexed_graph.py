@@ -133,3 +133,92 @@ class TestOccupancyBookkeeping:
         ig.release(0)
         ig.release(0)
         assert not ig.uniform_cost()  # history cost lingers on the segment
+
+
+class TestCostCache:
+    """The seg_cost cache must always equal a fresh kernel pricing."""
+
+    def assert_cache_fresh(self, ig, pres):
+        expect = ig.kernel.congestion_costs(
+            ig.usage, ig.history, ig.channel_width, pres
+        )
+        assert ig.seg_cost == expect
+
+    def test_refresh_prices_every_segment(self):
+        for kernel in ("scalar", "vector"):
+            arch = FpgaArch(5, 4)
+            ig = IndexedRoutingGraph(arch, 2.0, kernel=kernel)
+            assert ig.seg_cost is None
+            costs = ig.refresh_costs(0.5)
+            assert costs is ig.seg_cost
+            self.assert_cache_fresh(ig, 0.5)
+
+    def test_occupy_release_keep_cache_exact(self):
+        """Random churn after a refresh: every touched entry stays equal
+        to what a cold re-pricing would produce (both kernels)."""
+        for kernel in ("scalar", "vector"):
+            arch = FpgaArch(5, 4)
+            ig = IndexedRoutingGraph(arch, 2.0, kernel=kernel)
+            rng = random.Random(23)
+            for seg_id in range(ig.num_segments):
+                if rng.random() < 0.3:
+                    ig.history[seg_id] = rng.uniform(0.1, 4.0)
+            ig.refresh_costs(0.8)
+            live: list[int] = []
+            for _ in range(200):
+                if live and rng.random() < 0.4:
+                    ig.release(live.pop(rng.randrange(len(live))))
+                else:
+                    seg_id = rng.randrange(ig.num_segments)
+                    live.append(seg_id)
+                    ig.occupy(seg_id)
+            self.assert_cache_fresh(ig, 0.8)
+
+    def test_accrue_history_invalidates_cache(self):
+        arch = FpgaArch(5, 4)
+        ig = IndexedRoutingGraph(arch, 1.0)
+        ig.refresh_costs(0.5)
+        ig.occupy(0)
+        ig.occupy(0)
+        ig.accrue_history()
+        assert ig.seg_cost is None  # stale: history changed wholesale
+        ig.refresh_costs(0.5)
+        self.assert_cache_fresh(ig, 0.5)
+
+    def test_refresh_tracks_present_factor(self):
+        """Re-pricing at a different factor replaces the cache, and
+        occupy/release updates use the new factor."""
+        arch = FpgaArch(5, 4)
+        ig = IndexedRoutingGraph(arch, 1.0)
+        ig.refresh_costs(0.5)
+        ig.refresh_costs(0.8)
+        assert ig._cost_pres == 0.8
+        ig.occupy(0)
+        ig.occupy(0)  # second track of a width-1 channel: congested entry
+        self.assert_cache_fresh(ig, 0.8)
+
+
+class TestSearchCounters:
+    def test_pops_never_exceed_pushes(self):
+        """The incumbent-bound push gate must only ever *suppress*
+        pushes — a popped entry always corresponds to a prior push."""
+        from repro.perf import PERF
+        from repro.route.pathfinder import route_design
+
+        from tests.route.test_parity import random_circuit
+
+        nl, placement = random_circuit(2)
+        PERF.reset()
+        PERF.enable()
+        try:
+            result = route_design(nl, placement, 3, engine="fast")
+            snap = PERF.snapshot()["counters"]
+        finally:
+            PERF.disable()
+            PERF.reset()
+        assert result.routes  # the run actually searched
+        pops = snap.get("route.search_pops", 0)
+        pushes = snap.get("route.search_pushes", 0)
+        assert pushes > 0
+        assert pops <= pushes
+        assert snap.get("route.search_stale", 0) <= pops

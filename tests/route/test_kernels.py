@@ -1,0 +1,148 @@
+"""Kernel bit-identity: the vector kernel is the scalar kernel, faster.
+
+The fast router's kernel knob is only sound if every batched operation
+— pricing, history accrual, overuse masks, rip-up scheduling — returns
+*bit-identical* results from both implementations, so a negotiation
+over either kernel takes identical decisions.  These are property tests
+over randomized occupancy/history states (including the awkward spots:
+exactly-at-capacity segments, fractional widths, large histories,
+empty routes).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.route.kernels import (
+    DEFAULT_KERNEL,
+    ScalarKernel,
+    VectorKernel,
+    available_kernels,
+    resolve_kernel,
+)
+
+numpy = pytest.importorskip("numpy")
+
+SCALAR = resolve_kernel("scalar")
+VECTOR = resolve_kernel("vector")
+
+
+def random_state(rng: random.Random, n: int = 120):
+    """A randomized (usage, history, width) triple with adversarial spots."""
+    width = rng.choice([1.0, 2.0, 3.0, 5.0, 7.5, float(rng.randint(1, 12))])
+    usage = [rng.randint(0, 8) for _ in range(n)]
+    history = [
+        0.0 if rng.random() < 0.4 else rng.uniform(0.0, 40.0) for _ in range(n)
+    ]
+    # Force some segments exactly at / one over capacity — the branch edges.
+    for _ in range(n // 10):
+        usage[rng.randrange(n)] = int(width)
+        usage[rng.randrange(n)] = int(width) + 1
+    return usage, history, width
+
+
+class TestBitIdentity:
+    def test_congestion_costs_bitwise_equal(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            usage, history, width = random_state(rng)
+            for pres in (0.5, 0.8, 1.28, 2.048, 13.1072):
+                s = SCALAR.congestion_costs(usage, history, width, pres)
+                v = VECTOR.congestion_costs(usage, history, width, pres)
+                assert s == v  # exact float equality, element for element
+
+    def test_congestion_costs_match_graph_scalar_formula(self):
+        """Each entry equals the graph's per-segment branchy formula."""
+        rng = random.Random(12)
+        usage, history, width = random_state(rng)
+        for kern in (SCALAR, VECTOR):
+            costs = kern.congestion_costs(usage, history, width, 0.5)
+            for s in range(len(usage)):
+                over = usage[s] + 1 - width
+                if over > 0.0:
+                    expect = (1.0 + history[s]) * (1.0 + 0.5 * over)
+                else:
+                    expect = 1.0 + history[s]
+                assert costs[s] == expect
+
+    def test_accrue_history_bitwise_equal(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            usage, history, width = random_state(rng)
+            hist_s, hist_v = list(history), list(history)
+            inc = rng.choice([1.0, 0.5, 2.56])
+            rs = SCALAR.accrue_history(usage, hist_s, width, inc)
+            rv = VECTOR.accrue_history(usage, hist_v, width, inc)
+            assert rs == rv
+            assert hist_s == hist_v
+            assert rs == any(u > width for u in usage)
+
+    def test_overuse_masks_equal(self):
+        rng = random.Random(14)
+        for _ in range(25):
+            usage, _history, width = random_state(rng)
+            assert SCALAR.overused_segments(usage, width) == (
+                VECTOR.overused_segments(usage, width)
+            )
+            assert SCALAR.overuse_flags(usage, width) == (
+                VECTOR.overuse_flags(usage, width)
+            )
+            assert SCALAR.total_overuse(usage, width) == (
+                VECTOR.total_overuse(usage, width)
+            )
+
+    def test_infinite_width_prices_all_base(self):
+        usage = [0, 3, 17]
+        history = [0.0, 2.0, 5.0]
+        for kern in (SCALAR, VECTOR):
+            costs = kern.congestion_costs(usage, history, math.inf, 0.5)
+            assert costs == [1.0, 3.0, 6.0]
+            assert kern.total_overuse(usage, math.inf) == 0
+            assert not kern.accrue_history(usage, list(history), math.inf, 1.0)
+
+    def test_select_targets_equal(self):
+        """Rip-up scheduling agrees net-for-net, including empty routes."""
+        rng = random.Random(15)
+        for _ in range(20):
+            usage, _history, width = random_state(rng, n=60)
+            flags = SCALAR.overuse_flags(usage, width)
+            items = []
+            routes: dict[int, list[int]] = {}
+            for net in range(30):
+                k = rng.choice([0, 0, 1, 2, 5, 9])
+                routes[net] = [rng.randrange(60) for _ in range(k)]
+                items.append((net, net))  # (net_id, ...) tuples like the router's
+            s = SCALAR.select_targets(items, routes, flags)
+            v = VECTOR.select_targets(items, routes, flags)
+            assert s == v
+
+    def test_select_targets_all_empty_routes(self):
+        flags = bytearray(8)
+        items = [(0, 0), (1, 1)]
+        routes = {0: [], 1: []}
+        assert SCALAR.select_targets(items, routes, flags) == []
+        assert VECTOR.select_targets(items, routes, flags) == []
+
+
+class TestResolution:
+    def test_auto_resolves_to_default(self):
+        assert resolve_kernel(None).name == DEFAULT_KERNEL
+        assert resolve_kernel("auto").name == DEFAULT_KERNEL
+        assert DEFAULT_KERNEL == "vector"  # numpy importable in this env
+
+    def test_explicit_names(self):
+        assert resolve_kernel("scalar") is SCALAR
+        assert resolve_kernel("scalar").name == "scalar"
+        assert resolve_kernel("vector").name == "vector"
+        assert isinstance(resolve_kernel("scalar"), ScalarKernel)
+        assert isinstance(resolve_kernel("vector"), VectorKernel)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown route kernel"):
+            resolve_kernel("simd")
+
+    def test_available_kernels_lists_both(self):
+        assert available_kernels() == ["scalar", "vector"]

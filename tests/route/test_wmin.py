@@ -146,23 +146,54 @@ class TestEngineEquality:
                     f"seed {seed} max_width {max_width}: {outcomes}"
                 )
 
-    def test_exact_hint_takes_two_cold_probes(self):
-        nl, placement = random_circuit(3)
-        truth = find_min_channel_width_fast(nl, placement, max_width=64)
-        PERF.reset()
-        PERF.enable()
-        try:
-            hinted = find_min_channel_width_fast(
-                nl, placement, max_width=64, start_width=truth
-            )
-            snap = PERF.snapshot()["counters"]
-        finally:
-            PERF.disable()
+    def test_exact_hint_takes_one_cold_probe(self):
+        """An exact ``start_width`` hint confirms with a single cold
+        probe at the hint plus (when the demand bound leaves room below)
+        one replay-verified warm probe at hint-1 — never a second cold
+        route and never a bisection."""
+        for seed in (3, 5, 8):
+            nl, placement = random_circuit(seed)
+            truth = find_min_channel_width_fast(nl, placement, max_width=64)
             PERF.reset()
-        assert hinted == truth
-        assert snap.get("route.wmin.hint_hits", 0) == 1
-        assert snap.get("route.wmin.cold_probes", 0) <= 2
-        assert snap.get("route.wmin.warm_probes", 0) == 0
+            PERF.enable()
+            try:
+                hinted = find_min_channel_width_fast(
+                    nl, placement, max_width=64, start_width=truth
+                )
+                snap = PERF.snapshot()["counters"]
+            finally:
+                PERF.disable()
+                PERF.reset()
+            assert hinted == truth, f"seed {seed}"
+            assert snap.get("route.wmin.hint_hits", 0) == 1, f"seed {seed}"
+            assert snap.get("route.wmin.cold_probes", 0) <= 1, f"seed {seed}"
+            assert snap.get("route.wmin.replay_probes", 0) <= 1, f"seed {seed}"
+            assert snap.get("route.wmin.warm_probes", 0) == 0, f"seed {seed}"
+
+    def test_kernel_never_changes_width(self):
+        """scalar and vector kernels bisect to the identical width, with
+        and without parallel speculation and hints."""
+        for seed in (0, 3, 6):
+            nl, placement = random_circuit(seed)
+            widths = {
+                kernel: find_min_channel_width_fast(
+                    nl, placement, max_width=64, kernel=kernel
+                )
+                for kernel in ("scalar", "vector")
+            }
+            assert widths["scalar"] == widths["vector"], f"seed {seed}"
+            truth = widths["scalar"]
+            for jobs in (1, 2):
+                for hint in (None, truth, truth + 3):
+                    for kernel in ("scalar", "vector"):
+                        got = find_min_channel_width_fast(
+                            nl, placement, max_width=64,
+                            jobs=jobs, start_width=hint, kernel=kernel,
+                        )
+                        assert got == truth, (
+                            f"seed {seed} jobs {jobs} hint {hint} "
+                            f"kernel {kernel}: {got} != {truth}"
+                        )
 
 
 @pytest.mark.slow
@@ -184,3 +215,27 @@ class TestFullSuiteEquality:
             if fast != ref:
                 mismatches.append((name, fast, ref))
         assert not mismatches, f"fast != reference on: {mismatches}"
+
+    def test_all_suite_circuits_jobs_kernel_hint_matrix(self):
+        """All 20 suite circuits: every (jobs, kernel, start_width)
+        combination of the fast engine returns the identical width."""
+        from repro.bench.suite import suite_circuit, suite_names
+        from repro.place.initial import random_placement
+
+        mismatches = []
+        for name in suite_names("all"):
+            netlist, arch = suite_circuit(name, scale=0.02)
+            placement = random_placement(netlist, arch, seed=0)
+            truth = find_min_channel_width_fast(netlist, placement)
+            for jobs in (1, 2):
+                for kernel in ("scalar", "vector"):
+                    for hint in (None, truth, truth + 2):
+                        got = find_min_channel_width_fast(
+                            netlist, placement,
+                            jobs=jobs, kernel=kernel, start_width=hint,
+                        )
+                        if got != truth:
+                            mismatches.append(
+                                (name, jobs, kernel, hint, got, truth)
+                            )
+        assert not mismatches, f"width diverged on: {mismatches}"
