@@ -16,6 +16,9 @@ Usage::
 
 Each phase is timed as the best of ``--repeats`` runs (min is the right
 statistic for wall-clock micro-benchmarks: noise is strictly additive).
+The raw per-repeat samples and their median are recorded alongside the
+min (``samples`` / ``phases_median``), so a reader can judge how noisy
+each committed number was without re-running the harness.
 """
 
 from __future__ import annotations
@@ -30,12 +33,23 @@ from pathlib import Path
 
 
 def _best_of(fn, repeats: int) -> float:
-    best = math.inf
+    """Best-of-N wall time; the raw samples land on ``_best_of.samples``
+    (each phase_* function calls this exactly once per invocation)."""
+    samples = []
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        samples.append(time.perf_counter() - start)
+    _best_of.samples = samples
+    return min(samples)
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
 # ----------------------------------------------------------------------
@@ -218,7 +232,9 @@ def _routing_workload(quick: bool):
     return netlist, placement, width
 
 
-def phase_route_winf(repeats: int, quick: bool, engine: str, kernel: str) -> float:
+def phase_route_winf(
+    repeats: int, quick: bool, engine: str, kernel: str, search: str
+) -> float:
     from repro.route.pathfinder import route_design
 
     netlist, placement, _width = _routing_workload(quick)
@@ -226,27 +242,31 @@ def phase_route_winf(repeats: int, quick: bool, engine: str, kernel: str) -> flo
     def run() -> None:
         route_design(
             netlist, placement, math.inf, max_iterations=1,
-            engine=engine, kernel=kernel,
+            engine=engine, kernel=kernel, search=search,
         )
 
     return _best_of(run, repeats)
 
 
 def phase_route_lowstress(
-    repeats: int, quick: bool, engine: str, kernel: str
+    repeats: int, quick: bool, engine: str, kernel: str, search: str
 ) -> float:
     from repro.route.pathfinder import route_design
 
     netlist, placement, width = _routing_workload(quick)
 
     def run() -> None:
-        route_design(netlist, placement, width, engine=engine, kernel=kernel)
+        route_design(
+            netlist, placement, width, engine=engine, kernel=kernel,
+            search=search,
+        )
 
     return _best_of(run, repeats)
 
 
 def phase_wmin(
-    repeats: int, quick: bool, engine: str, wmin_engine: str, kernel: str
+    repeats: int, quick: bool, engine: str, wmin_engine: str, kernel: str,
+    search: str,
 ) -> float:
     """Full W_min search on the routing circuit (the dominant route phase)."""
     from repro.route.metrics import find_min_channel_width
@@ -256,7 +276,7 @@ def phase_wmin(
     def run() -> None:
         find_min_channel_width(
             netlist, placement, engine=engine, wmin_engine=wmin_engine,
-            kernel=kernel,
+            kernel=kernel, search=search,
         )
 
     return _best_of(run, repeats)
@@ -317,29 +337,37 @@ def run_phases(
     engine: str = "fast",
     wmin_engine: str = "fast",
     kernel: str = "auto",
-) -> dict[str, float]:
+    search: str = "auto",
+) -> tuple[dict[str, float], dict[str, list[float]]]:
+    """Returns ``(best-of timings, per-repeat samples)`` per phase."""
     timings: dict[str, float] = {}
+    samples: dict[str, list[float]] = {}
+
+    def record(name: str, best: float) -> None:
+        timings[name] = best
+        samples[name] = [round(v, 6) for v in _best_of.samples]
+
     # Millisecond-scale phases get extra repeats: at ~10ms a single
     # scheduler hiccup dominates best-of-3, which is what made earlier
     # committed numbers drift run to run.
     micro = max(repeats, 9)
-    timings["sta_full"] = phase_sta_full(repeats, quick)
-    timings["sta_after_move"] = phase_sta_after_move(repeats, quick)
-    timings["embedder_tree6"] = phase_embedder(6, micro)
-    timings["embedder_tree12"] = phase_embedder(12, micro)
-    timings["embedder_lex3"] = phase_embedder_lex3(micro)
-    timings["legalizer"] = phase_legalizer(micro, quick)
-    timings["flow_micro"] = phase_flow_micro(max(1, repeats - 1), quick)
-    timings["route_winf"] = phase_route_winf(repeats, quick, engine, kernel)
-    timings["route_lowstress"] = phase_route_lowstress(
-        max(1, repeats - 1), quick, engine, kernel
-    )
+    record("sta_full", phase_sta_full(repeats, quick))
+    record("sta_after_move", phase_sta_after_move(repeats, quick))
+    record("embedder_tree6", phase_embedder(6, micro))
+    record("embedder_tree12", phase_embedder(12, micro))
+    record("embedder_lex3", phase_embedder_lex3(micro))
+    record("legalizer", phase_legalizer(micro, quick))
+    record("flow_micro", phase_flow_micro(max(1, repeats - 1), quick))
+    record("route_winf", phase_route_winf(repeats, quick, engine, kernel, search))
+    record("route_lowstress", phase_route_lowstress(
+        max(1, repeats - 1), quick, engine, kernel, search
+    ))
     # The search is end-to-end (many negotiations per run), so one
     # repeat less keeps the reference-engine baseline regen tractable.
-    timings["wmin"] = phase_wmin(
-        max(1, repeats - 2), quick, engine, wmin_engine, kernel
-    )
-    return timings
+    record("wmin", phase_wmin(
+        max(1, repeats - 2), quick, engine, wmin_engine, kernel, search
+    ))
+    return timings, samples
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -379,6 +407,14 @@ def main(argv: list[str] | None = None) -> int:
         help="negotiation kernel for the route_*/wmin phases "
         "(bit-identical results; auto = vector when numpy is available)",
     )
+    parser.add_argument(
+        "--route-search",
+        choices=("auto", "heap", "wavefront"),
+        default="auto",
+        dest="route_search",
+        help="uniform-regime search engine for the route_*/wmin phases "
+        "(bit-identical results; auto = wavefront when numpy is available)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -396,8 +432,16 @@ def main(argv: list[str] | None = None) -> int:
     except ImportError:  # seed code without the kernels module
         resolved_kernel = "scalar"
 
-    timings = run_phases(
-        args.repeats, args.quick, args.engine, args.wmin_engine, args.kernel
+    try:
+        from repro.route.wavefront import resolve_search
+
+        resolved_search = resolve_search(args.route_search)
+    except ImportError:  # seed code without the wavefront module
+        resolved_search = "heap"
+
+    timings, samples = run_phases(
+        args.repeats, args.quick, args.engine, args.wmin_engine, args.kernel,
+        args.route_search,
     )
 
     report: dict = {
@@ -409,6 +453,7 @@ def main(argv: list[str] | None = None) -> int:
             "engine": args.engine,
             "wmin_engine": args.wmin_engine,
             "kernel": resolved_kernel,
+            "search": resolved_search,
             "baseline_notes": (
                 "ms-scale phases (embedder_*, legalizer) run with extra "
                 "repeats and the legalizer phase now mirrors production "
@@ -417,6 +462,10 @@ def main(argv: list[str] | None = None) -> int:
             ),
         },
         "phases": timings,
+        "phases_median": {
+            name: round(_median(vals), 6) for name, vals in samples.items()
+        },
+        "samples": samples,
     }
     if PERF is not None:
         report["counters"] = PERF.snapshot()["counters"]

@@ -17,7 +17,8 @@ comparable column the gate passes with a notice rather than comparing
 apples to oranges.
 
 The routing hot-path timers (``--gate-timers``, default
-``route.negotiate`` and ``route.wmin.confirm``) are gated the same way,
+``route.negotiate``, ``route.wmin.confirm``, ``route.wmin.search`` and
+``route.wmin.replay``) are gated the same way,
 against the baseline's ``timers`` (same-shape runs) or ``quick_timers``
 (quick run vs committed full baseline) column.
 """
@@ -52,7 +53,11 @@ def main(argv: list[str] | None = None) -> int:
         "phases are timer noise at any relative threshold)",
     )
     parser.add_argument(
-        "--gate-timers", default="route.negotiate,route.wmin.confirm",
+        "--gate-timers",
+        default=(
+            "route.negotiate,route.wmin.confirm,"
+            "route.wmin.search,route.wmin.replay"
+        ),
         metavar="CSV",
         help="PERF timers gated like phases on same-shape runs "
         "(empty to disable)",

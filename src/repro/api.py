@@ -149,9 +149,10 @@ class OptimizeResult:
 class RouteResult:
     """Outcome of :func:`route`: routed timing at two channel widths.
 
-    ``engine``/``kernel`` record which router engine and negotiation
-    kernel actually produced the result (the *resolved* kernel — never
-    ``"auto"``), so run artifacts are attributable.
+    ``engine``/``kernel``/``search`` record which router engine,
+    negotiation kernel and uniform-regime search engine actually
+    produced the result (the *resolved* names — never ``"auto"``), so
+    run artifacts are attributable.
     """
 
     w_inf: float
@@ -161,6 +162,7 @@ class RouteResult:
     seconds: float = 0.0
     engine: str = "fast"
     kernel: str = "scalar"
+    search: str = "heap"
 
 
 @dataclass
@@ -317,26 +319,29 @@ def route(
     wmin_engine: str = "fast",
     start_width: int | None = None,
     route_kernel: str | None = None,
+    route_search: str | None = None,
 ) -> RouteResult:
     """Low-stress + infinite routing with routed-timing STA.
 
     ``wmin_engine``/``start_width``/``jobs`` tune the W_min search (see
-    :func:`repro.route.find_min_channel_width`) and ``route_kernel``
+    :func:`repro.route.find_min_channel_width`), ``route_kernel``
     selects the fast engine's negotiation kernel
-    (``scalar``/``vector``/``auto``); the reported metrics are identical
-    for every setting.
+    (``scalar``/``vector``/``auto``) and ``route_search`` its
+    uniform-regime search engine (``heap``/``wavefront``/``auto``); the
+    reported metrics are identical for every setting.
     """
     from repro.route.kernels import resolve_kernel
+    from repro.route.wavefront import resolve_search
 
     start = time.perf_counter()
     low = route_low_stress(
         design.netlist, placement, engine=engine,
         wmin_engine=wmin_engine, jobs=jobs, start_width=start_width,
-        kernel=route_kernel,
+        kernel=route_kernel, search=route_search,
     )
     infinite = route_infinite(
         design.netlist, placement, engine=engine, jobs=jobs,
-        kernel=route_kernel,
+        kernel=route_kernel, search=route_search,
     )
     w_ls = routed_critical_delay(design.netlist, placement, low)
     w_inf = routed_critical_delay(design.netlist, placement, infinite)
@@ -348,6 +353,7 @@ def route(
         seconds=time.perf_counter() - start,
         engine=engine,
         kernel=resolve_kernel(route_kernel).name if engine == "fast" else "none",
+        search=resolve_search(route_search) if engine == "fast" else "none",
     )
 
 
@@ -434,6 +440,7 @@ def campaign_run(
     route_jobs: int = 1,
     wmin_engine: str = "fast",
     route_kernel: str | None = None,
+    route_search: str | None = None,
     perf: bool = False,
     trace: bool = False,
     faults: dict[str, int] | None = None,
@@ -469,6 +476,7 @@ def campaign_run(
         route_jobs=route_jobs,
         wmin_engine=wmin_engine,
         route_kernel=route_kernel,
+        route_search=route_search,
         jobs=jobs,
         timeout=timeout,
         retries=retries,

@@ -69,12 +69,13 @@ class BaselineRun:
     total_blocks: int
     density: float
     place_route_seconds: float
-    #: Provenance: which W_min search engine and negotiation kernel
-    #: produced the routing numbers (kernel is the *resolved* name,
-    #: never "auto").  Defaults match payloads recorded before these
-    #: fields existed.
+    #: Provenance: which W_min search engine, negotiation kernel and
+    #: uniform-regime search produced the routing numbers (kernel and
+    #: search are the *resolved* names, never "auto").  Defaults match
+    #: payloads recorded before these fields existed.
     wmin_engine: str = "fast"
     route_kernel: str = "scalar"
+    route_search: str = "heap"
 
     def to_dict(self) -> dict:
         """JSON-ready round-trip payload (exact: ids and dict orders).
@@ -101,6 +102,7 @@ class BaselineRun:
             "place_route_seconds": self.place_route_seconds,
             "wmin_engine": self.wmin_engine,
             "route_kernel": self.route_kernel,
+            "route_search": self.route_search,
         }
 
     @classmethod
@@ -122,6 +124,7 @@ class BaselineRun:
             place_route_seconds=data["place_route_seconds"],
             wmin_engine=data.get("wmin_engine", "fast"),
             route_kernel=data.get("route_kernel", "scalar"),
+            route_search=data.get("route_search", "heap"),
         )
 
 
@@ -139,9 +142,11 @@ class VariantRun:
     unified: int = 0
     seconds: float = 0.0
     history: list = field(default_factory=list)
-    #: Resolved negotiation kernel that re-routed this variant (never
-    #: "auto"); defaults match payloads recorded before the field existed.
+    #: Resolved negotiation kernel and search engine that re-routed this
+    #: variant (never "auto"); defaults match payloads recorded before
+    #: the fields existed.
     route_kernel: str = "scalar"
+    route_search: str = "heap"
 
     def to_dict(self) -> dict:
         """JSON-ready round-trip payload (floats survive exactly)."""
@@ -157,6 +162,7 @@ class VariantRun:
             "seconds": self.seconds,
             "history": [record_to_dict(record) for record in self.history],
             "route_kernel": self.route_kernel,
+            "route_search": self.route_search,
         }
 
     @classmethod
@@ -173,6 +179,7 @@ class VariantRun:
             seconds=data["seconds"],
             history=[record_from_dict(record) for record in data["history"]],
             route_kernel=data.get("route_kernel", "scalar"),
+            route_search=data.get("route_search", "heap"),
         )
 
 
@@ -185,15 +192,17 @@ def run_vpr_baseline(
     wmin_engine: str = "fast",
     start_width: int | None = None,
     route_kernel: str | None = None,
+    route_search: str | None = None,
 ) -> BaselineRun:
     """Generate, place (timing-driven SA) and route one suite circuit.
 
-    ``wmin_engine``/``start_width``/``route_kernel`` tune the W_min
-    search and router only — the measured width is identical for every
-    setting (``start_width`` typically comes from a previous run's
-    cache, see ``--run-dir``).
+    ``wmin_engine``/``start_width``/``route_kernel``/``route_search``
+    tune the W_min search and router only — the measured width is
+    identical for every setting (``start_width`` typically comes from a
+    previous run's cache, see ``--run-dir``).
     """
     from repro.route.kernels import resolve_kernel
+    from repro.route.wavefront import resolve_search
 
     start = time.perf_counter()
     netlist, arch = suite_circuit(name, scale=scale)
@@ -203,13 +212,15 @@ def run_vpr_baseline(
     min_width = find_min_channel_width(
         netlist, placement,
         wmin_engine=wmin_engine, jobs=route_jobs, start_width=start_width,
-        kernel=route_kernel,
+        kernel=route_kernel, search=route_search,
     )
     low = route_low_stress(
-        netlist, placement, min_width=min_width, kernel=route_kernel
+        netlist, placement, min_width=min_width, kernel=route_kernel,
+        search=route_search,
     )
     infinite = route_infinite(
-        netlist, placement, jobs=route_jobs, kernel=route_kernel
+        netlist, placement, jobs=route_jobs, kernel=route_kernel,
+        search=route_search,
     )
     elapsed = time.perf_counter() - start
 
@@ -231,6 +242,7 @@ def run_vpr_baseline(
         place_route_seconds=elapsed,
         wmin_engine=wmin_engine,
         route_kernel=resolve_kernel(route_kernel).name,
+        route_search=resolve_search(route_search),
     )
 
 
@@ -260,9 +272,11 @@ def run_variant(
     jobs: int = 1,
     route_jobs: int = 1,
     route_kernel: str | None = None,
+    route_search: str | None = None,
 ) -> VariantRun:
     """Run one optimization algorithm against a baseline and re-route."""
     from repro.route.kernels import resolve_kernel
+    from repro.route.wavefront import resolve_search
 
     netlist = baseline.netlist.clone()
     placement = baseline.placement.copy()
@@ -282,10 +296,12 @@ def run_variant(
     seconds = time.perf_counter() - start
 
     low = route_low_stress(
-        netlist, placement, min_width=baseline.min_width, kernel=route_kernel
+        netlist, placement, min_width=baseline.min_width, kernel=route_kernel,
+        search=route_search,
     )
     infinite = route_infinite(
-        netlist, placement, jobs=route_jobs, kernel=route_kernel
+        netlist, placement, jobs=route_jobs, kernel=route_kernel,
+        search=route_search,
     )
     w_ls = routed_critical_delay(netlist, placement, low).critical_delay
     w_inf = routed_critical_delay(netlist, placement, infinite).critical_delay
@@ -303,6 +319,7 @@ def run_variant(
         seconds=seconds,
         history=history,
         route_kernel=resolve_kernel(route_kernel).name,
+        route_search=resolve_search(route_search),
     )
 
 
@@ -314,6 +331,7 @@ def run_matrix(
     effort: float = 1.0,
     seed: int = 0,
     route_kernel: str | None = None,
+    route_search: str | None = None,
 ) -> dict[str, list[VariantRun]]:
     """The sequential circuits×algorithms loop of table2/table3.
 
@@ -329,7 +347,7 @@ def run_matrix(
             runs[algorithm].append(
                 run_variant(
                     baseline, algorithm, effort=effort, seed=seed,
-                    route_kernel=route_kernel,
+                    route_kernel=route_kernel, route_search=route_search,
                 )
             )
     return runs
@@ -436,6 +454,13 @@ def main(argv: list[str] | None = None) -> int:
         "(bit-identical results; auto = vector when numpy is available)",
     )
     parser.add_argument(
+        "--route-search",
+        choices=("auto", "heap", "wavefront"),
+        default="auto",
+        help="uniform-regime search engine for the fast router "
+        "(bit-identical results; auto = wavefront when numpy is available)",
+    )
+    parser.add_argument(
         "--run-dir",
         default=None,
         metavar="DIR",
@@ -474,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
             wmin_engine=args.wmin_engine,
             start_width=wmin_cache.wmin_get(key) if wmin_cache else None,
             route_kernel=args.route_kernel,
+            route_search=args.route_search,
         )
         if wmin_cache is not None:
             wmin_cache.wmin_set(key, baseline.min_width)
@@ -489,6 +515,7 @@ def main(argv: list[str] | None = None) -> int:
         runs = run_matrix(
             names, algorithms, make_baseline, effort=args.effort,
             seed=args.seed, route_kernel=args.route_kernel,
+            route_search=args.route_search,
         )
         if args.experiment == "table2":
             print(tables.format_table2(runs, scale=args.scale))
@@ -499,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
         run = run_variant(
             baseline, "rt", effort=args.effort, seed=args.seed,
             route_kernel=args.route_kernel,
+            route_search=args.route_search,
         )
         print(tables.format_fig14(run, scale=args.scale))
     elif args.experiment == "overhead":
@@ -520,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 route_jobs=args.route_jobs,
                 route_kernel=args.route_kernel,
+                route_search=args.route_search,
             )
             total_pr += baseline.place_route_seconds
             total_opt += run.seconds

@@ -91,6 +91,7 @@ class CampaignConfig:
     route_jobs: int = 1
     wmin_engine: str = "fast"
     route_kernel: str | None = None
+    route_search: str | None = None
     jobs: int = 1
     timeout: float | None = None
     retries: int = 2

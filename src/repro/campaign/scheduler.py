@@ -93,6 +93,7 @@ def execute_task(payload: dict) -> dict:
                 wmin_engine=payload.get("wmin_engine", "fast"),
                 start_width=payload.get("start_width"),
                 route_kernel=payload.get("route_kernel"),
+                route_search=payload.get("route_search"),
             )
         else:
             baseline = BaselineRun.from_dict(payload["baseline"])
@@ -103,6 +104,7 @@ def execute_task(payload: dict) -> dict:
                 seed=task["seed"],
                 route_jobs=payload.get("route_jobs", 1),
                 route_kernel=payload.get("route_kernel"),
+                route_search=payload.get("route_search"),
             )
         return run.to_dict()
     finally:
@@ -322,6 +324,7 @@ class CampaignScheduler:
             "route_jobs": config.route_jobs,
             "wmin_engine": config.wmin_engine,
             "route_kernel": config.route_kernel,
+            "route_search": config.route_search,
             "perf": config.perf,
             "trace": config.trace,
             "campaign_dir": str(self.campaign_dir),

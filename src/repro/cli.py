@@ -98,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="auto", dest="route_kernel",
                      help="negotiation kernel for the fast router "
                      "(bit-identical results; auto = vector with numpy)")
+    run.add_argument("--route-search", choices=("auto", "heap", "wavefront"),
+                     default="auto", dest="route_search",
+                     help="uniform-regime search engine for the fast router "
+                     "(bit-identical results; auto = wavefront with numpy)")
     run.add_argument("--run-dir", type=Path,
                      help="run directory: journal.jsonl, checkpoint.json, "
                      "trace.json, result.json")
@@ -129,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="auto", dest="route_kernel",
                        help="negotiation kernel for the fast router "
                        "(bit-identical results; auto = vector with numpy)")
+    route.add_argument("--route-search", choices=("auto", "heap", "wavefront"),
+                       default="auto", dest="route_search",
+                       help="uniform-regime search engine for the fast router "
+                       "(bit-identical results; auto = wavefront with numpy)")
     route.set_defaults(func=cmd_route)
 
     bench = sub.add_parser(
@@ -185,6 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
                       default="fast", dest="wmin_engine")
     crun.add_argument("--route-kernel", choices=("auto", "scalar", "vector"),
                       default="auto", dest="route_kernel")
+    crun.add_argument("--route-search", choices=("auto", "heap", "wavefront"),
+                      default="auto", dest="route_search")
     crun.add_argument("--perf", action="store_true",
                       help="per-task perf snapshots into DIR/perf/")
     crun.add_argument("--trace", action="store_true",
@@ -296,6 +306,7 @@ def cmd_run(args) -> int:
         routed = api.route(
             design, placement, jobs=args.route_jobs,
             route_kernel=args.route_kernel,
+            route_search=args.route_search,
         )
         _print_routing(routed)
         if args.run_dir is not None:
@@ -324,6 +335,7 @@ def cmd_route(args) -> int:
         design, placed.placement, jobs=args.route_jobs,
         wmin_engine=args.wmin_engine, start_width=args.start_width,
         route_kernel=args.route_kernel,
+        route_search=args.route_search,
     ))
     return 0
 
@@ -332,12 +344,14 @@ def _print_routing(routed: api.RouteResult) -> None:
     print(
         f"routed: W_inf {routed.w_inf:.2f}  "
         f"W_ls {routed.w_ls:.2f} (W={routed.channel_width:g})  "
-        f"wire {routed.wirelength}  [{routed.engine}/{routed.kernel}]"
+        f"wire {routed.wirelength}  "
+        f"[{routed.engine}/{routed.kernel}/{routed.search}]"
     )
 
 
 def _record_route_result(run_dir: Path, routed: api.RouteResult) -> None:
-    """Merge routing metrics + engine/kernel provenance into result.json."""
+    """Merge routing metrics + engine/kernel/search provenance into
+    result.json."""
     path = Path(run_dir) / api.RESULT_FILE
     try:
         payload = json.loads(path.read_text())
@@ -351,6 +365,7 @@ def _record_route_result(run_dir: Path, routed: api.RouteResult) -> None:
         "seconds": round(routed.seconds, 3),
         "engine": routed.engine,
         "kernel": routed.kernel,
+        "search": routed.search,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -444,6 +459,7 @@ def cmd_campaign_run(args) -> int:
             route_jobs=args.route_jobs,
             wmin_engine=args.wmin_engine,
             route_kernel=args.route_kernel,
+            route_search=args.route_search,
             perf=args.perf,
             trace=args.trace,
             faults=_parse_faults(args.inject_fault),

@@ -40,6 +40,7 @@ def find_min_channel_width(
     jobs: int = 1,
     start_width: int | None = None,
     kernel: str | None = None,
+    search: str | None = None,
 ) -> int:
     """Smallest routable channel width, per the reference probe protocol.
 
@@ -55,8 +56,9 @@ def find_min_channel_width(
       affecting the returned width.
 
     ``engine`` still selects the per-width *router* (fast/reference
-    PathFinder) and ``kernel`` the fast router's negotiation kernel
-    (scalar/vector — bit-identical results), independently of the
+    PathFinder), ``kernel`` the fast router's negotiation kernel
+    (scalar/vector) and ``search`` its uniform-regime search engine
+    (heap/wavefront) — all bit-identical results, independently of the
     search strategy.
     """
     with PERF.timer("route.wmin"):
@@ -70,6 +72,7 @@ def find_min_channel_width(
                 jobs=jobs,
                 start_width=start_width,
                 kernel=kernel,
+                search=search,
             )
         if wmin_engine != "reference":
             raise ValueError(f"unknown wmin engine: {wmin_engine!r}")
@@ -77,7 +80,7 @@ def find_min_channel_width(
         def success_at(width: int) -> bool:
             return route_design(
                 netlist, placement, width, max_iterations, engine=engine,
-                kernel=kernel,
+                kernel=kernel, search=search,
             ).success
 
         return galloping_bisect(success_at, max_width)
@@ -93,16 +96,20 @@ def route_low_stress(
     jobs: int = 1,
     start_width: int | None = None,
     kernel: str | None = None,
+    search: str | None = None,
 ) -> RoutingResult:
     """Route with ~20% spare tracks over the minimum ([18]'s low stress)."""
     if min_width is None:
         min_width = find_min_channel_width(
             netlist, placement, engine=engine, wmin_engine=wmin_engine,
-            jobs=jobs, start_width=start_width, kernel=kernel,
+            jobs=jobs, start_width=start_width, kernel=kernel, search=search,
         )
     width = max(min_width + 1, math.ceil(min_width * (1.0 + stress_margin)))
     with PERF.timer("route.lowstress"):
-        return route_design(netlist, placement, width, engine=engine, kernel=kernel)
+        return route_design(
+            netlist, placement, width, engine=engine, kernel=kernel,
+            search=search,
+        )
 
 
 def route_infinite(
@@ -111,17 +118,18 @@ def route_infinite(
     engine: str = "fast",
     jobs: int = 1,
     kernel: str | None = None,
+    search: str | None = None,
 ) -> RoutingResult:
     """Route with unbounded resources (every net on a shortest tree).
 
     ``jobs > 1`` fans the (independent) per-net searches out across
     worker processes; results are bit-identical for any job count (and
-    for either ``kernel``).
+    for either ``kernel`` or ``search``).
     """
     with PERF.timer("route.winf"):
         return route_design(
             netlist, placement, math.inf, max_iterations=1,
-            engine=engine, jobs=jobs, kernel=kernel,
+            engine=engine, jobs=jobs, kernel=kernel, search=search,
         )
 
 

@@ -54,11 +54,10 @@ router's (property-tested in ``tests/route/test_parity.py``).
 
 from __future__ import annotations
 
-import heapq
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 
 from repro.arch.fpga import FpgaArch, Slot
 from repro.netlist.netlist import Netlist
@@ -69,6 +68,11 @@ from repro.route.rrgraph import (
     RoutingGraph,
     Segment,
     segment,
+)
+from repro.route.wavefront import (
+    _LANES as _BATCH_GROUP,
+    resolve_search,
+    route_nets_uniform,
 )
 
 
@@ -110,6 +114,7 @@ def route_design(
     engine: str = "fast",
     jobs: int = 1,
     kernel: str | None = None,
+    search: str | None = None,
 ) -> RoutingResult:
     """Route every net; negotiate congestion until legal or give up.
 
@@ -127,7 +132,12 @@ def route_design(
     negotiation kernel (``"scalar"``/``"vector"``; ``None``/``"auto"``
     picks vector when NumPy is available) — results are bit-identical
     either way (see :mod:`repro.route.kernels`); the reference engine
-    has no kernels and ignores the knob.
+    has no kernels and ignores the knob.  ``search`` selects the
+    per-net search engine for uniform-cost regimes
+    (``"heap"``/``"wavefront"``; ``None``/``"auto"`` picks wavefront
+    when NumPy is available) — likewise bit-identical (see
+    :mod:`repro.route.wavefront`); congested searches always run the
+    heap loop, and the reference engine ignores the knob.
     """
     nets = _routable_nets(netlist, placement, timing_driven)
     if engine == "reference":
@@ -137,11 +147,15 @@ def route_design(
         )
     if engine != "fast":
         raise ValueError(f"unknown routing engine {engine!r}")
+    search = resolve_search(search)
     if jobs > 1 and math.isinf(channel_width):
-        return _route_winf_parallel(placement.arch, nets, jobs, max_iterations)
+        return _route_winf_parallel(
+            placement.arch, nets, jobs, max_iterations, search=search
+        )
     return _route_design_fast(
         placement.arch, nets, channel_width,
         max_iterations, present_factor, present_growth, kernel=kernel,
+        search=search,
     )
 
 
@@ -317,10 +331,10 @@ def _dijkstra_to_target(
         seed = crit * hops_from_source.get(slot, 0)
         if seed < best.get(slot, math.inf):
             best[slot] = seed
-            heapq.heappush(heap, (seed, slot))
+            heappush(heap, (seed, slot))
     parents: dict[Slot, Slot] = {}
     while heap:
-        cost, slot = heapq.heappop(heap)
+        cost, slot = heappop(heap)
         if cost > best.get(slot, math.inf):
             continue
         if slot == target:
@@ -332,7 +346,7 @@ def _dijkstra_to_target(
             if new_cost < best.get(neighbour, math.inf) - 1e-12:
                 best[neighbour] = new_cost
                 parents[neighbour] = slot
-                heapq.heappush(heap, (new_cost, neighbour))
+                heappush(heap, (new_cost, neighbour))
     return None
 
 
@@ -433,8 +447,15 @@ def _search_to_target(
     push = heappush
     pop = heappop
 
+    # Seeds are built in bulk and heapified (pop order is key order, and
+    # keys are unique in the slot id, so heapify vs sequential pushes is
+    # pop-for-pop identical).  The incumbent gate applies to seeds too:
+    # a seed whose key already exceeds ``ub`` would pop after the target
+    # and can never influence the realized parent chain — its per-node
+    # arrays are still written, exactly like a gate-pruned push.
+    tbest = ub if not uniform else math.inf  # target's current heap key bound
     heap: list[tuple[float, int, float]] = []
-    pushes = 0
+    add = heap.append
     for t in tree_nodes:
         seed = crit * hops[t]
         stamp[t] = gen
@@ -446,8 +467,11 @@ def _search_to_target(
             f = seed + ((dx if dx >= 0 else -dx) + (dy if dy >= 0 else -dy)) * hfac
         else:
             f = seed
-        push(heap, (f, t, seed))
-        pushes += 1
+        if f > tbest or (f == tbest and t > target):
+            continue  # would pop after the target: dead entry
+        add((f, t, seed))
+    heapify(heap)
+    pushes = len(heap)
 
     # Heap-churn control: every pop is counted (so ``pops <= pushes`` is
     # a conservation invariant), entries dominated by the per-node best
@@ -470,7 +494,6 @@ def _search_to_target(
     pops = 0
     stale = 0
     found = False
-    tbest = ub if not uniform else math.inf  # target's current heap key bound
     if uniform:
         # Uniform regime: congestion cost is exactly 1.0 on every edge,
         # so the step collapses to a per-search constant (same float as
@@ -548,19 +571,27 @@ def _old_tree_parents(
     path of any sink and price it under the current costs.
     """
     seg_u, seg_v = ig.seg_u, ig.seg_v
-    adjacency: dict[int, list[tuple[int, int]]] = {}
-    for s in old_segs:
-        u, v = seg_u[s], seg_v[s]
-        adjacency.setdefault(u, []).append((v, s))
-        adjacency.setdefault(v, []).append((u, s))
     parents = {source: (-1, -1)}
-    stack = [source]
-    while stack:
-        u = stack.pop()
-        for v, s in adjacency.get(u, ()):
-            if v not in parents:
-                parents[v] = (u, s)
-                stack.append(v)
+    # Scan-attach: sweep the segment list, attaching every segment that
+    # touches the tree built so far; repeat on the remainder.  The
+    # walk-back order segments arrive in keeps paths nearly contiguous,
+    # so the sweep converges in a couple of passes without building a
+    # per-node adjacency structure.
+    pending = old_segs
+    while pending:
+        rest: list[int] = []
+        for s in pending:
+            u, v = seg_u[s], seg_v[s]
+            if u in parents:
+                if v not in parents:
+                    parents[v] = (u, s)
+            elif v in parents:
+                parents[u] = (v, s)
+            else:
+                rest.append(s)
+        if len(rest) == len(pending):
+            break  # disconnected remnant (defensive; trees never hit it)
+        pending = rest
     return parents
 
 
@@ -730,6 +761,7 @@ def _route_design_fast(
     present_growth: float,
     exact: bool = False,
     kernel: str | None = None,
+    search: str = "heap",
 ) -> RoutingResult:
     ig = IndexedRoutingGraph(arch, channel_width, kernel)
     kern = ig.kernel
@@ -769,15 +801,64 @@ def _route_design_fast(
         with PERF.timer("route.negotiate"):
             if not ig.uniform_cost():
                 ig.refresh_costs(pres)
-            for net_id, src, sink_ids, crit_ids in targets:
+            # Uniform-regime batch: wavefront searches read no occupancy
+            # or history, so upcoming targets can be solved ahead of the
+            # commit loop in array lanes.  Groups are sized so the
+            # lookahead is *waste-free*: a net's tree uses a segment at
+            # most once, so while the next ``size`` nets commit no
+            # segment can climb from ``max(usage)`` to capacity when
+            # ``size`` stays below that headroom — the regime provably
+            # cannot flip inside the group and every computed search is
+            # committed.  When the safe headroom gets too small to
+            # amortize a lane batch, the remaining nets fall through to
+            # the heap loop; the per-commit uniform re-check stays as
+            # the semantic guard, so routes remain bit-identical to the
+            # heap loop either way.
+            batch: dict | None = (
+                {} if search == "wavefront" and not exact else None
+            )
+            batch_edge = 0
+            for idx, (net_id, src, sink_ids, crit_ids) in enumerate(targets):
                 old = seg_routes.get(net_id)
                 if old is not None:
                     for s in old:
                         ig.release(s)
-                segs = _route_net_fast(
-                    ig, state, net_id, src, sink_ids, pres, crit_ids, exact,
-                    old_segs=old,
-                )
+                if (
+                    batch is not None
+                    and idx >= batch_edge
+                    and ig.uniform_cost()
+                ):
+                    width = ig.channel_width
+                    if width == math.inf:
+                        size = _BATCH_GROUP
+                    else:
+                        # Largest integer usage still below capacity
+                        # (capacity test is ``used >= width``, usage is
+                        # integral), minus the current peak usage.
+                        below = (
+                            int(width) - 1
+                            if width == int(width)
+                            else math.floor(width)
+                        )
+                        size = below - (max(ig.usage) if ig.usage else 0)
+                    if size >= 16:
+                        group = targets[idx:idx + min(size, _BATCH_GROUP)]
+                        batch.update(
+                            zip(
+                                (t[0] for t in group),
+                                route_nets_uniform(ig, group),
+                            )
+                        )
+                        batch_edge = idx + len(group)
+                    else:
+                        batch = None
+                if batch is not None and idx < batch_edge and ig.uniform_cost():
+                    segs = batch[net_id]
+                else:
+                    segs = _route_net_fast(
+                        ig, state, net_id, src, sink_ids, pres, crit_ids,
+                        exact, old_segs=old,
+                    )
                 seg_routes[net_id] = segs
                 routed += 1
                 for s in segs:
@@ -810,7 +891,7 @@ def _route_design_fast(
         return _route_design_fast(
             arch, nets, channel_width,
             max_iterations, present_factor, present_growth, exact=True,
-            kernel=kern.name,
+            kernel=kern.name, search=search,
         )
 
     routes = {
@@ -849,29 +930,48 @@ def _winf_worker(payload):
     each net exactly as the serial engine would — parallelism decides
     who computes a route, never what it is.
     """
-    arch, chunk = payload
+    arch, chunk, search = payload
     ig = IndexedRoutingGraph(arch, math.inf)
-    state = _SearchState(ig.num_slots, ig.num_segments)
     index = ig.slot_index
-    out = []
-    for net_id, source, sinks, crits in chunk:
-        segs = _route_net_fast(
-            ig,
-            state,
-            net_id,
-            index[source],
-            [index[s] for s in sinks],
-            0.5,
-            {index[s]: c for s, c in crits.items()},
+    counters: dict[str, int] = {}
+    if search == "wavefront":
+        items = [
+            (
+                net_id,
+                index[source],
+                [index[s] for s in sinks],
+                {index[s]: c for s, c in crits.items()},
+            )
+            for net_id, source, sinks, crits in chunk
+        ]
+        seg_lists = route_nets_uniform(ig, items, counters=counters)
+        out = [
+            _build_net_route(ig, net_id, source, sinks, segs)
+            for (net_id, source, sinks, _c), segs in zip(chunk, seg_lists)
+        ]
+    else:
+        state = _SearchState(ig.num_slots, ig.num_segments)
+        out = []
+        for net_id, source, sinks, crits in chunk:
+            segs = _route_net_fast(
+                ig,
+                state,
+                net_id,
+                index[source],
+                [index[s] for s in sinks],
+                0.5,
+                {index[s]: c for s, c in crits.items()},
+            )
+            out.append(_build_net_route(ig, net_id, source, sinks, segs))
+        counters.update(
+            {
+                "route.search_pops": state.pops,
+                "route.search_pushes": state.pushes,
+                "route.search_stale": state.stale,
+                "route.bbox_retries": state.retries,
+            }
         )
-        out.append(_build_net_route(ig, net_id, source, sinks, segs))
-    counters = {
-        "route.nets_routed": len(out),
-        "route.search_pops": state.pops,
-        "route.search_pushes": state.pushes,
-        "route.search_stale": state.stale,
-        "route.bbox_retries": state.retries,
-    }
+    counters["route.nets_routed"] = len(out)
     return out, counters
 
 
@@ -880,12 +980,15 @@ def _route_winf_parallel(
     nets: list[tuple[int, Slot, list[Slot], dict[Slot, float]]],
     jobs: int,
     max_iterations: int,
+    search: str = "heap",
 ) -> RoutingResult:
     chunk_size = max(1, -(-len(nets) // jobs))
     chunks = [nets[i : i + chunk_size] for i in range(0, len(nets), chunk_size)]
     by_net: dict[int, NetRoute] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_winf_worker, (arch, chunk)) for chunk in chunks]
+        futures = [
+            pool.submit(_winf_worker, (arch, chunk, search)) for chunk in chunks
+        ]
         for future in futures:
             chunk_routes, counters = future.result()
             for route in chunk_routes:

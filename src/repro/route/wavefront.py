@@ -1,0 +1,489 @@
+"""Array-native wavefront search: batched uniform-regime routing.
+
+The fast engine's per-net searches (:func:`pathfinder._search_to_target`)
+run a Python heap loop — fast per pop, but every pop is interpreter
+work.  This module replaces that loop for the **uniform-cost regime**
+(no over-use at capacity, no history: every edge prices at the base cost
+``1.0``) with a NumPy engine that expands whole cost *rings* at a time
+and routes many nets concurrently in independent *lanes* — while
+producing bit-identical route trees.
+
+Why this regime, and why it is exact
+------------------------------------
+
+**Ring replay.**  In a uniform search every relaxation adds the same
+per-search constant ``step = crit + (1 - crit) * 1.0``, so the heap
+content always spans less than one ``step``: if ``fmin`` is the current
+minimum key, every key lies in ``[fmin, fmin + step)`` ∪ pushes-to-come.
+Call ``{f < fmin + step}`` the current *ring*.  Float monotonicity
+(``a >= b  =>  a + step >= b + step``) guarantees an expansion from any
+ring entry costs ``c = f + step >= fmin + step`` — outside the ring —
+and the scalar engine's strict-improvement rule (skip when
+``c >= best - 1e-12``) means no in-ring node is ever improved by an
+in-ring expansion.  Settling the whole ring in sorted ``(f, v)`` order
+is therefore *exactly* the heap's pop order over those entries,
+including the stale-entry skips (``f > best[v]``), and the first
+relaxation each node receives — in ring-then-``(f, v)``-then-CSR-probe
+order — is the one that sticks, because every later candidate costs at
+least as much and is skipped by the same ``1e-12`` rule.  The realized
+parent chains, and hence the walked-back route trees, match the heap
+engine float-for-float.
+
+**Target termination.**  The target's key never improves after its
+first relaxation (the next ring's expansions already cost more than one
+full ring above it), so the search ends exactly when the ring containing
+``best[target]`` is reached.  Heap entries that would pop after the
+target — the ones the scalar engine's ``tbest`` push gate prunes — are
+dead weight either way: in-ring pops before the target only write
+per-node arrays the ended search never reads again.
+
+**Cross-net lanes.**  A uniform search reads *no* occupancy, history or
+cost state — only the static CSR adjacency and the net's own tree — so
+searches of different nets are fully independent and any number can
+advance in lockstep.  Batching is legal exactly while the graph is
+uniform; the caller re-checks :meth:`IndexedRoutingGraph.uniform_cost`
+at every per-net *commit* (in net order), so a mid-iteration flip to
+congested pricing discards the not-yet-committed tail and the sequential
+semantics are preserved decision-for-decision.
+
+Engine selection mirrors the negotiation kernels
+(:mod:`repro.route.kernels`): ``resolve_search(None | "auto")`` picks
+``"wavefront"`` when NumPy is importable and ``"heap"`` otherwise, and
+every public entry point accepts the knob as ``--route-search``.
+"""
+
+from __future__ import annotations
+
+from repro.perf import PERF
+
+try:  # NumPy is optional: the heap engine needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Search engine picked by ``resolve_search(None)`` / ``"auto"``.
+DEFAULT_SEARCH = "wavefront" if _np is not None else "heap"
+
+#: Nets routed concurrently; bounded by the work list at run time.
+_LANES = 128
+
+
+def available_searches() -> list[str]:
+    return ["heap", "wavefront"] if _np is not None else ["heap"]
+
+
+def resolve_search(name: str | None) -> str:
+    """Search engine name for a knob value (``None``/"auto" -> best)."""
+    if name is None or name == "auto":
+        name = DEFAULT_SEARCH
+    if name == "heap":
+        return "heap"
+    if name == "wavefront":
+        if _np is None:
+            raise RuntimeError(
+                "route search 'wavefront' requires numpy; install it or "
+                "use --route-search=heap"
+            )
+        return "wavefront"
+    raise ValueError(f"unknown route search {name!r}")
+
+
+def _graph_arrays(ig):
+    """NumPy views of the graph's CSR arrays, cached on the graph.
+
+    The underlying ``array('i')`` buffers are never resized after
+    construction, so zero-copy ``frombuffer`` views stay valid for the
+    graph's lifetime.
+    """
+    cached = getattr(ig, "_wavefront_arrays", None)
+    if cached is not None:
+        return cached
+    arrays = (
+        _np.frombuffer(ig.nbr_ptr, dtype=_np.int32).astype(_np.int64),
+        _np.frombuffer(ig.nbr_slot, dtype=_np.int32).astype(_np.int64),
+        _np.frombuffer(ig.nbr_seg, dtype=_np.int32).astype(_np.int64),
+        _np.frombuffer(ig.xs, dtype=_np.int32).astype(_np.int64),
+        _np.frombuffer(ig.ys, dtype=_np.int32).astype(_np.int64),
+    )
+    ig._wavefront_arrays = arrays
+    return arrays
+
+
+class _Lane:
+    """Per-lane Python bookkeeping: one net's tree under construction."""
+
+    __slots__ = (
+        "slot", "net_id", "source", "sinks", "sink_idx", "crits",
+        "hops", "tree_nodes", "tn_arr", "hv_arr", "segments", "seg_seen",
+        "bx0", "bx1", "by0", "by1", "target", "item_pos",
+    )
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.net_id = -1
+        self.target = -1
+
+
+def route_nets_uniform(ig, items, lanes: int = _LANES, counters=None):
+    """Route every item congestion-free over the uniform-cost graph.
+
+    ``items`` are indexed net tuples ``(net_id, source, sinks, crits)``
+    as produced by the fast engine.  Returns segment-id routes aligned
+    with ``items`` (walk-back append order, identical to
+    ``_route_net_fast``).  **Does not occupy** — committing (and the
+    uniform-regime check that gates using each route) is the caller's
+    job, in net order.
+
+    When ``counters`` (a mutable mapping) is given, per-engine stats are
+    tallied into it instead of the process registry — worker processes
+    use this to ship counts back for the parent's ``PERF.merge_counts``.
+    """
+    np = _np
+    nbr_ptr, nbr_slot, nbr_seg, xs, ys = _graph_arrays(ig)
+    xs_l, ys_l = ig.xs, ig.ys  # array('i'): fastest scalar reads
+    S = ig.num_slots
+    n_items = len(items)
+    B = max(1, min(lanes, n_items))
+
+    # Flat per-(lane, slot) search state; generation stamps make
+    # per-search clears O(1) exactly like the scalar engine's.
+    best = np.zeros(B * S, dtype=np.float64)
+    parent = np.full(B * S, -1, dtype=np.int64)
+    parent_seg = np.full(B * S, -1, dtype=np.int64)
+    stamp = np.zeros(B * S, dtype=np.int64)
+    gen = np.zeros(B, dtype=np.int64)
+
+    # Per-lane search parameters (step, window, target) as flat vectors.
+    step_arr = np.zeros(B, dtype=np.float64)
+    wx0 = np.zeros(B, dtype=np.int64)
+    wx1 = np.zeros(B, dtype=np.int64)
+    wy0 = np.zeros(B, dtype=np.int64)
+    wy1 = np.zeros(B, dtype=np.int64)
+    tgt_arr = np.full(B, -1, dtype=np.int64)
+    searching = np.zeros(B, dtype=bool)
+    laneoff = np.arange(B, dtype=np.int64) * S
+    fmin = np.empty(B, dtype=np.float64)
+
+    lanes_py = [_Lane(i) for i in range(B)]
+    routes: list[list[int] | None] = [None] * n_items
+    next_item = 0
+    done = 0
+
+    # Container: per-round concatenated (lane, f, v) entry chunks.
+    chunks_l: list = []
+    chunks_f: list = []
+    chunks_v: list = []
+
+    rounds = 0
+    settled = 0
+    pushes = 0
+    stale_n = 0
+    fallbacks = 0
+    searches = 0
+
+    def scalar_fallback(lane: _Lane) -> None:
+        # Defensive only: a uniform search on a connected grid always
+        # reaches its target, but a surprise is routed correctly rather
+        # than crashing — re-route the whole net on the heap engine.
+        nonlocal fallbacks
+        from repro.route.pathfinder import _SearchState, _route_net_fast
+
+        fallbacks += 1
+        state = _SearchState(ig.num_slots, ig.num_segments)
+        _net_id, src, sinks, crits = items[lane.item_pos]
+        routes[lane.item_pos] = _route_net_fast(
+            ig, state, lane.net_id, src, sinks, 0.5, crits
+        )
+
+    def load_net(lane: _Lane) -> bool:
+        """Point the lane at the next unrouted item; False when drained."""
+        nonlocal next_item
+        if next_item >= n_items:
+            searching[lane.slot] = False
+            return False
+        pos = next_item
+        next_item += 1
+        net_id, source, sinks, crits = items[pos]
+        lane.item_pos = pos
+        lane.net_id = net_id
+        lane.source = source
+        # Most-critical-first sink order, identical to the heap engine.
+        lane.sinks = sorted(sinks, key=lambda s: (-crits[s], s))
+        lane.sink_idx = 0
+        lane.crits = crits
+        lane.hops = {source: 0}
+        lane.tree_nodes = [source]
+        lane.tn_arr = np.array([source], dtype=np.int64)
+        lane.hv_arr = np.zeros(1, dtype=np.float64)
+        lane.segments = []
+        lane.seg_seen = set()
+        x, y = xs_l[source], ys_l[source]
+        lane.bx0 = lane.bx1 = x
+        lane.by0 = lane.by1 = y
+        return True
+
+    def start_search(lane: _Lane) -> bool:
+        """Seed the lane's next sink search; False when the net is done
+        (route recorded) and no further net was available."""
+        nonlocal done, searches, pushes
+        while True:
+            while lane.sink_idx < len(lane.sinks):
+                target = lane.sinks[lane.sink_idx]
+                lane.sink_idx += 1
+                if target not in lane.hops:
+                    break
+            else:
+                routes[lane.item_pos] = lane.segments
+                done += 1
+                if not load_net(lane):
+                    return False
+                continue
+            break
+        i = lane.slot
+        crit = lane.crits[target]
+        step_arr[i] = crit + (1.0 - crit) * 1.0
+        lane.target = target
+        tgt_arr[i] = target
+        tx, ty = xs_l[target], ys_l[target]
+        wx0[i] = (lane.bx0 if lane.bx0 < tx else tx) - 1
+        wx1[i] = (lane.bx1 if lane.bx1 > tx else tx) + 1
+        wy0[i] = (lane.by0 if lane.by0 < ty else ty) - 1
+        wy1[i] = (lane.by1 if lane.by1 > ty else ty) + 1
+        gen[i] += 1
+        searches += 1
+        tn = lane.tn_arr
+        seedf = crit * lane.hv_arr
+        keys = i * S + tn
+        best[keys] = seedf
+        stamp[keys] = gen[i]
+        parent[keys] = -1
+        chunks_l.append(np.full(len(tn), i, dtype=np.int64))
+        chunks_f.append(seedf)
+        chunks_v.append(tn)
+        pushes += len(tn)
+        searching[i] = True
+        return True
+
+    def finish_search(lane: _Lane) -> None:
+        """Walk the found target back into the tree (heap-engine order)."""
+        base_key = lane.slot * S
+        cursor = lane.target
+        path = [cursor]
+        hops = lane.hops
+        seg_seen = lane.seg_seen
+        segments = lane.segments
+        seg_item = parent_seg.item
+        par_item = parent.item
+        while cursor not in hops:
+            s = seg_item(base_key + cursor)
+            if s not in seg_seen:
+                seg_seen.add(s)
+                segments.append(s)
+            cursor = par_item(base_key + cursor)
+            path.append(cursor)
+        base = hops[cursor]
+        offset = len(path) - 1
+        tree_nodes = lane.tree_nodes
+        new_nodes: list[int] = []
+        new_hops: list[int] = []
+        for node in path:
+            if node not in hops:
+                h = base + offset
+                hops[node] = h
+                tree_nodes.append(node)
+                new_nodes.append(node)
+                new_hops.append(h)
+                x, y = xs_l[node], ys_l[node]
+                if x < lane.bx0:
+                    lane.bx0 = x
+                elif x > lane.bx1:
+                    lane.bx1 = x
+                if y < lane.by0:
+                    lane.by0 = y
+                elif y > lane.by1:
+                    lane.by1 = y
+            offset -= 1
+        if new_nodes:
+            lane.tn_arr = np.concatenate(
+                [lane.tn_arr, np.array(new_nodes, dtype=np.int64)]
+            )
+            lane.hv_arr = np.concatenate(
+                [lane.hv_arr, np.array(new_hops, dtype=np.float64)]
+            )
+
+    active = 0
+    for lane in lanes_py:
+        if load_net(lane) and start_search(lane):
+            active += 1
+        else:
+            break
+    active = int(searching.sum())
+
+    while active:
+        rounds += 1
+        if chunks_l:
+            if len(chunks_l) == 1:
+                cl, cf, cv = chunks_l[0], chunks_f[0], chunks_v[0]
+            else:
+                cl = np.concatenate(chunks_l)
+                cf = np.concatenate(chunks_f)
+                cv = np.concatenate(chunks_v)
+            chunks_l.clear()
+            chunks_f.clear()
+            chunks_v.clear()
+        else:
+            cl = np.empty(0, dtype=np.int64)
+            cf = np.empty(0, dtype=np.float64)
+            cv = np.empty(0, dtype=np.int64)
+
+        fmin.fill(np.inf)
+        if len(cl):
+            np.minimum.at(fmin, cl, cf)
+        thr = fmin + step_arr
+
+        # Target-found test: the target settles in the ring that covers
+        # its (never-again-improved) key — including the degenerate ring
+        # at ``thr == inf``, which occurs when the push gate has drained
+        # everything that would pop after the target.  Entries of a
+        # found lane are dropped wholesale — the ended search never
+        # reads their writes.
+        tkey = laneoff + np.maximum(tgt_arr, 0)
+        t_hit = (
+            searching
+            & (tgt_arr >= 0)
+            & (stamp[tkey] == gen)
+            & (best[tkey] < thr)
+        )
+        # A searching lane whose frontier is exhausted without reaching
+        # its target cannot happen on a connected grid; the defensive
+        # scalar path takes the whole net rather than crashing.
+        dry = searching & ~t_hit & ~np.isfinite(fmin)
+        if t_hit.any() or dry.any():
+            for i in np.flatnonzero(t_hit):
+                lane = lanes_py[int(i)]
+                finish_search(lane)
+                searching[i] = False
+                start_search(lane)
+            for i in np.flatnonzero(dry):
+                lane = lanes_py[int(i)]
+                scalar_fallback(lane)
+                searching[i] = False
+                if load_net(lane):
+                    start_search(lane)
+            active = int(searching.sum())
+            if len(cl):
+                ended = t_hit | dry
+                alive = ~ended[cl]
+                cl, cf, cv = cl[alive], cf[alive], cv[alive]
+            if not len(cl):
+                continue
+
+        in_ring = cf < thr[cl]
+        keep = ~in_ring
+        if keep.any():
+            chunks_l.append(cl[keep])
+            chunks_f.append(cf[keep])
+            chunks_v.append(cv[keep])
+
+        rl, rf, rv = cl[in_ring], cf[in_ring], cv[in_ring]
+        # Stale skip: an entry whose key exceeds the node's settled best
+        # was superseded after its push — the heap engine's `g > best[u]`.
+        rkey = rl * S + rv
+        fresh = rf <= best[rkey]
+        stale_n += len(rf) - int(fresh.sum())
+        rl, rf, rv = rl[fresh], rf[fresh], rv[fresh]
+
+        if not len(rl):
+            continue
+        settled += len(rl)
+
+        # Settle the ring in heap pop order: (lane, f, v) ascending, CSR
+        # probe order within each entry.
+        order = np.lexsort((rv, rf, rl))
+        rl, rf, rv = rl[order], rf[order], rv[order]
+        c_pop = rf + step_arr[rl]
+
+        starts = nbr_ptr[rv]
+        counts = nbr_ptr[rv + 1] - starts
+        total = int(counts.sum())
+        if not total:
+            continue
+        # Per-edge values that are per-ring-entry constants (cost, lane
+        # window, generation) are gathered once per entry and repeated —
+        # far fewer random-access loads than gathering per edge.
+        cum = np.cumsum(counts)
+        eidx = np.repeat(starts + counts - cum, counts)
+        eidx += np.arange(total, dtype=np.int64)
+        nbr = nbr_slot[eidx]
+        ec = np.repeat(c_pop, counts)
+
+        x = xs[nbr]
+        y = ys[nbr]
+        inside = (
+            (x >= np.repeat(wx0[rl], counts))
+            & (x <= np.repeat(wx1[rl], counts))
+            & (y >= np.repeat(wy0[rl], counts))
+            & (y <= np.repeat(wy1[rl], counts))
+        )
+        lane_e = np.repeat(rl, counts)
+        key2 = lane_e * S + nbr
+        # Relaxation rule, identical to the scalar engine: first visit
+        # relaxes unconditionally, otherwise strict 1e-12 improvement.
+        # Within the round the *first* improving edge in pop order wins
+        # (later edges to the same node cost >= the winner and would be
+        # skipped by the same rule against its freshly settled best).
+        visited = stamp[key2] == np.repeat(gen[rl], counts)
+        improve = inside & (~visited | (ec < best[key2] - 1e-12))
+        if not improve.any():
+            continue
+        cand = np.flatnonzero(improve)
+        _uniq, first = np.unique(key2[cand], return_index=True)
+        win = cand[first] if len(first) < len(cand) else cand
+        win.sort()
+        wkey = key2[win]
+        wlane = lane_e[win]
+        wc = ec[win]
+        wv = nbr[win]
+        best[wkey] = wc
+        # Map each winning edge back to its ring entry (its parent node)
+        # by position — ``win`` is sorted, so a binary search against the
+        # entry boundaries beats materializing a per-edge parent array.
+        parent[wkey] = rv[np.searchsorted(cum, win, side="right")]
+        parent_seg[wkey] = nbr_seg[eidx[win]]
+        stamp[wkey] = gen[wlane]
+
+        # Push gate: once a lane's target is relaxed, entries keyed at or
+        # above it pop at or after the search's final ring, where their
+        # expansions can no longer influence the realized parent chain —
+        # dead weight either way (the scalar gate prunes the strictly-
+        # worse ones; the equal-key survivors it pushes only ever expand
+        # inside the final ring, whose writes the ended search never
+        # reads).  Gating at ``wc < tbest`` is therefore exact while
+        # pruning slightly harder than the scalar gate.  The target
+        # itself is tracked through best/stamp, not the container.
+        is_tgt = wv == tgt_arr[wlane]
+        tbest = np.where(stamp[tkey] == gen, best[tkey], np.inf)
+        live = ~is_tgt & (wc < tbest[wlane])
+        if live.any():
+            chunks_l.append(wlane[live])
+            chunks_f.append(wc[live])
+            chunks_v.append(wv[live])
+            pushes += int(live.sum())
+
+    if counters is not None or PERF.enabled:
+        stats = {
+            "route.wavefront.rounds": rounds,
+            "route.wavefront.settled": settled,
+            "route.wavefront.pushes": pushes,
+            "route.wavefront.stale": stale_n,
+            "route.wavefront.searches": searches,
+            "route.wavefront.nets": n_items,
+        }
+        if fallbacks:
+            stats["route.wavefront.fallbacks"] = fallbacks
+        if counters is not None:
+            for name, amount in stats.items():
+                counters[name] = counters.get(name, 0) + amount
+        else:
+            PERF.merge_counts(stats)
+    return routes

@@ -81,6 +81,7 @@ from repro.route.pathfinder import (
     _SearchState,
 )
 from repro.route.rrgraph import IndexedRoutingGraph
+from repro.route.wavefront import resolve_search, route_nets_uniform
 
 #: Negotiation constants — must match ``route_design``'s defaults so the
 #: cold confirmation probes replay the reference protocol exactly.
@@ -237,10 +238,30 @@ def _indexed_items(ig: IndexedRoutingGraph, nets: list[NetItem]):
     ]
 
 
-def _route_winf(ig: IndexedRoutingGraph, items) -> tuple[dict[int, list[int]], int]:
+def _route_winf(
+    ig: IndexedRoutingGraph, items, search: str = "heap"
+) -> tuple[dict[int, list[int]], int]:
     """Route every net congestion-free; returns routes + peak demand."""
+    if search == "wavefront":
+        seg_lists = route_nets_uniform(ig, items)
+        routes = {
+            net_id: segs
+            for (net_id, _s, _k, _c), segs in zip(items, seg_lists)
+        }
+        # Batched occupy: at infinite width no segment ever reaches
+        # capacity and no cost vector is cached, so `occupy` reduces to
+        # the usage bump + wirelength count — done inline without the
+        # per-segment method dispatch.
+        usage = ig.usage
+        total = 0
+        for segs in seg_lists:
+            for s in segs:
+                usage[s] += 1
+            total += len(segs)
+        ig._wirelength += total
+        return routes, (max(usage) if usage else 0)
     state = _SearchState(ig.num_slots, ig.num_segments)
-    routes: dict[int, list[int]] = {}
+    routes = {}
     for net_id, source, sinks, crits in items:
         segs = _route_net_fast(
             ig, state, net_id, source, sinks, _PRESENT_FACTOR, crits
@@ -381,6 +402,7 @@ def _cold_probe(
     max_iterations: int,
     engine: str,
     kernel: str | None = None,
+    search: str = "heap",
 ) -> bool:
     """One full-effort cold probe — the same engine call, on the same
     deterministic net list, that ``route_design`` would make, so the
@@ -392,14 +414,14 @@ def _cold_probe(
     else:
         result = _route_design_fast(
             arch, nets, width, max_iterations, _PRESENT_FACTOR, _PRESENT_GROWTH,
-            kernel=kernel,
+            kernel=kernel, search=search,
         )
     return result.success
 
 
 def _cold_probe_worker(payload) -> bool:
-    arch, nets, width, max_iterations, engine, kernel = payload
-    return _cold_probe(arch, nets, width, max_iterations, engine, kernel)
+    arch, nets, width, max_iterations, engine, kernel, search = payload
+    return _cold_probe(arch, nets, width, max_iterations, engine, kernel, search)
 
 
 # ----------------------------------------------------------------------
@@ -416,14 +438,20 @@ def find_min_channel_width_fast(
     jobs: int = 1,
     start_width: int | None = None,
     kernel: str | None = None,
+    search: str | None = None,
 ) -> int:
     """Warm-started, bound-pruned, speculative W_min search.
 
     Returns the same width as the reference galloping bisection (under
     its own monotone-routability assumption), for any ``jobs`` count,
-    any ``start_width`` hint and either negotiation ``kernel``; see the
-    module docstring for the protocol.
+    any ``start_width`` hint, either negotiation ``kernel`` and either
+    ``search`` engine; see the module docstring for the protocol.  The
+    wavefront search batches the uniform regimes (the W∞ seed route and
+    every probe's congestion-free prefix); warm probes start from an
+    occupied, history-laden graph, so they always run the heap loop —
+    a performance split only, never a result split.
     """
+    search = resolve_search(search)
     arch = placement.arch
     nets = _routable_nets(netlist, placement, True)
     ceiling = _gallop_ceiling(max_width)
@@ -447,7 +475,8 @@ def find_min_channel_width_fast(
             if width not in cold_cache:
                 with PERF.timer("route.wmin.confirm"):
                     cold_cache[width] = _cold_probe(
-                        arch, nets, width, max_iterations, engine, kernel
+                        arch, nets, width, max_iterations, engine, kernel,
+                        search,
                     )
                 if PERF.enabled:
                     PERF.add("route.wmin.cold_probes")
@@ -463,7 +492,7 @@ def find_min_channel_width_fast(
             ):
                 future = pool.submit(
                     _cold_probe_worker,
-                    (arch, nets, below, max_iterations, engine, kernel),
+                    (arch, nets, below, max_iterations, engine, kernel, search),
                 )
                 ok = cold(width)
                 with PERF.timer("route.wmin.confirm"):
@@ -483,8 +512,21 @@ def find_min_channel_width_fast(
                     low = mid + 1
             return high
 
+        replay_cache: dict[int, tuple] = {}
+
         def replay_probe(width: int, seed_routes, seed_hist):
-            """Full-effort seeded probe (the confirmation's failure side)."""
+            """Full-effort seeded probe (the confirmation's failure side).
+
+            Probes from the pristine history-free W∞ seed are
+            memoized: the probe is deterministic in ``width`` for that
+            seed, so phase A's terminal boundary step and phase B's
+            confirmation replay at the same width share one run.
+            """
+            cacheable = seed_routes is winf_routes and seed_hist is None
+            if cacheable and width in replay_cache:
+                if PERF.enabled:
+                    PERF.add("route.wmin.replay_cache_hits")
+                return replay_cache[width]
             with PERF.timer("route.wmin.replay"):
                 ok, routes, hist, _iters, _aborted, counters = _warm_probe(
                     arch, items, width, seed_routes, seed_hist,
@@ -496,12 +538,15 @@ def find_min_channel_width_fast(
                 counters.pop("route.wmin.warm_probes", None)
                 PERF.merge_counts(counters)
                 PERF.add("route.wmin.replay_probes")
-            return ok, routes, hist
+            result = (ok, routes, hist)
+            if cacheable:
+                replay_cache[width] = result
+            return result
 
         # The W∞ solution seeds both the hint check and the warm search.
         with PERF.timer("route.wmin.winf"):
             items = _indexed_items(template, nets)
-            warm_routes, peak = _route_winf(template, items)
+            warm_routes, peak = _route_winf(template, items, search)
         warm_hist: list[float] | None = None
         # Pristine W∞ snapshot: probe seeds are never mutated (each probe
         # copies them), so holding the reference is enough.  The
@@ -597,7 +642,10 @@ def find_min_channel_width_fast(
                                 )
                                 if PERF.enabled:
                                     PERF.merge_counts(s_counters)
-                                pending = (speculative[0], (s_ok, s_routes, s_hist))
+                                pending = (
+                                    speculative[0],
+                                    (s_ok, s_routes, s_hist),
+                                )
                     if success:
                         hi = mid
                         warm_routes, warm_hist = routes, hist

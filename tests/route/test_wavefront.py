@@ -1,0 +1,169 @@
+"""Property tests: the wavefront search engine is bit-identical to heap.
+
+The wavefront engine's contract (see ``repro.route.wavefront``): for
+every uniform-cost regime it batches — W∞ routing, the congestion-free
+prefix of a finite-width first iteration — the realized route trees
+(segment lists in walk-back append order, hence the parent chains they
+encode) and per-sink hop counts equal the per-net heap loop's
+float-for-float, for any lane count, any ``jobs`` fan-out and any
+channel width including fractional ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.route import route_design
+from repro.route.pathfinder import _routable_nets, _route_net_fast, _SearchState
+from repro.route.rrgraph import IndexedRoutingGraph
+from repro.route.wavefront import (
+    available_searches,
+    resolve_search,
+    route_nets_uniform,
+)
+from repro.route.wmin import find_min_channel_width_fast
+
+from .test_parity import random_circuit
+
+np = pytest.importorskip("numpy")
+
+
+def _routes_equal(a, b) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(
+        a[n].segments == b[n].segments and a[n].sink_hops == b[n].sink_hops
+        for n in a
+    )
+
+
+class TestResolveSearch:
+    def test_auto_and_none_pick_wavefront_with_numpy(self):
+        assert resolve_search(None) == "wavefront"
+        assert resolve_search("auto") == "wavefront"
+
+    def test_explicit_names_resolve(self):
+        assert resolve_search("heap") == "heap"
+        assert resolve_search("wavefront") == "wavefront"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_search("dijkstra")
+
+    def test_available_searches_lists_both(self):
+        assert available_searches() == ["heap", "wavefront"]
+
+
+class TestEngineParity:
+    def test_winf_segment_lists_identical_across_seeds(self):
+        """60 random circuits: the raw per-net segment lists (walk-back
+        append order — the observable form of the parent arrays) from
+        ``route_nets_uniform`` equal the heap loop's exactly."""
+        for seed in range(60):
+            nl, placement = random_circuit(seed)
+            nets = _routable_nets(nl, placement)
+            ig = IndexedRoutingGraph(placement.arch, math.inf)
+            index = ig.slot_index
+            items = [
+                (
+                    net_id,
+                    index[source],
+                    [index[s] for s in sinks],
+                    {index[s]: c for s, c in crits.items()},
+                )
+                for net_id, source, sinks, crits in nets
+            ]
+            state = _SearchState(ig.num_slots, ig.num_segments)
+            heap_routes = [
+                _route_net_fast(ig, state, net_id, src, sinks, 0.5, crits)
+                for net_id, src, sinks, crits in items
+            ]
+            wave_routes = route_nets_uniform(ig, items)
+            assert heap_routes == wave_routes, f"seed {seed}"
+
+    def test_winf_route_design_identical_across_seeds(self):
+        """Full ``route_design`` at W∞: routes, hops and wirelength are
+        bit-identical between the two search engines."""
+        for seed in range(0, 60, 7):
+            nl, placement = random_circuit(seed)
+            heap = route_design(nl, placement, math.inf, search="heap")
+            wave = route_design(nl, placement, math.inf, search="wavefront")
+            assert heap.total_wirelength == wave.total_wirelength, f"seed {seed}"
+            assert _routes_equal(heap.routes, wave.routes), f"seed {seed}"
+
+    @pytest.mark.parametrize("width", [1, 1.5, 2, 2.5, 4])
+    def test_finite_and_fractional_width_parity(self, width):
+        """Finite widths — including width 1 and fractional widths, where
+        the graph flips to congested pricing mid-iteration — agree on
+        success, iterations, routes and residual overuse."""
+        for seed in (0, 3, 11, 25):
+            nl, placement = random_circuit(seed)
+            heap = route_design(nl, placement, width, search="heap")
+            wave = route_design(nl, placement, width, search="wavefront")
+            assert heap.success == wave.success, f"seed {seed} w {width}"
+            assert heap.iterations == wave.iterations, f"seed {seed} w {width}"
+            assert heap.remaining_overuse == wave.remaining_overuse
+            assert heap.total_wirelength == wave.total_wirelength
+            assert _routes_equal(heap.routes, wave.routes), f"seed {seed} w {width}"
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_parallel_winf_parity(self, jobs):
+        """The worker-pool W∞ fan-out returns identical routes with the
+        wavefront search for any job count."""
+        nl, placement = random_circuit(4)
+        truth = route_design(nl, placement, math.inf, jobs=1, search="heap")
+        got = route_design(
+            nl, placement, math.inf, jobs=jobs, search="wavefront"
+        )
+        assert _routes_equal(truth.routes, got.routes)
+
+    def test_wmin_width_identical_across_searches(self):
+        """The W_min engine returns the same width under either search."""
+        for seed in range(8):
+            nl, placement = random_circuit(seed)
+            widths = {
+                search: find_min_channel_width_fast(
+                    nl, placement, max_width=64, search=search
+                )
+                for search in ("heap", "wavefront")
+            }
+            assert widths["heap"] == widths["wavefront"], f"seed {seed}"
+
+
+class TestCounters:
+    def test_wavefront_counters_reported(self):
+        from repro.perf import PERF
+
+        nl, placement = random_circuit(2)
+        PERF.enable()
+        PERF.reset()
+        try:
+            route_design(nl, placement, math.inf, search="wavefront")
+        finally:
+            PERF.disable()
+        snap = PERF.snapshot()["counters"]
+        assert snap["route.wavefront.searches"] > 0
+        assert snap["route.wavefront.settled"] > 0
+        assert snap["route.wavefront.rounds"] > 0
+        assert snap["route.wavefront.nets"] > 0
+
+    def test_counters_dict_collects_without_registry(self):
+        nl, placement = random_circuit(2)
+        nets = _routable_nets(nl, placement)
+        ig = IndexedRoutingGraph(placement.arch, math.inf)
+        index = ig.slot_index
+        items = [
+            (
+                net_id,
+                index[source],
+                [index[s] for s in sinks],
+                {index[s]: c for s, c in crits.items()},
+            )
+            for net_id, source, sinks, crits in nets
+        ]
+        counters: dict[str, int] = {}
+        route_nets_uniform(ig, items, counters=counters)
+        assert counters["route.wavefront.nets"] == len(items)
+        assert counters["route.wavefront.searches"] >= len(items)

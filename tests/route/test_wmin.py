@@ -217,8 +217,9 @@ class TestFullSuiteEquality:
         assert not mismatches, f"fast != reference on: {mismatches}"
 
     def test_all_suite_circuits_jobs_kernel_hint_matrix(self):
-        """All 20 suite circuits: every (jobs, kernel, start_width)
-        combination of the fast engine returns the identical width."""
+        """All 20 suite circuits: every (jobs, kernel, search,
+        start_width) combination of the fast engine returns the
+        identical width."""
         from repro.bench.suite import suite_circuit, suite_names
         from repro.place.initial import random_placement
 
@@ -229,13 +230,16 @@ class TestFullSuiteEquality:
             truth = find_min_channel_width_fast(netlist, placement)
             for jobs in (1, 2):
                 for kernel in ("scalar", "vector"):
-                    for hint in (None, truth, truth + 2):
-                        got = find_min_channel_width_fast(
-                            netlist, placement,
-                            jobs=jobs, kernel=kernel, start_width=hint,
-                        )
-                        if got != truth:
-                            mismatches.append(
-                                (name, jobs, kernel, hint, got, truth)
+                    for search in ("heap", "wavefront"):
+                        for hint in (None, truth, truth + 2):
+                            got = find_min_channel_width_fast(
+                                netlist, placement,
+                                jobs=jobs, kernel=kernel, search=search,
+                                start_width=hint,
                             )
+                            if got != truth:
+                                mismatches.append(
+                                    (name, jobs, kernel, search, hint,
+                                     got, truth)
+                                )
         assert not mismatches, f"width diverged on: {mismatches}"
