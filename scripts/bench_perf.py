@@ -282,6 +282,28 @@ def phase_wmin(
     return _best_of(run, repeats)
 
 
+def phase_netlist_load(repeats: int, quick: bool) -> float:
+    """Cold-load an array-backed netlist from a pre-built store.
+
+    The store is built once outside the timed body (streamed suite
+    circuit); each repeat opens a fresh connection and materializes the
+    flat id-indexed vectors in one pass — the exact work a zero-copy
+    campaign worker does per task.
+    """
+    import tempfile
+
+    from repro.bench.suite import ensure_suite_design
+    from repro.netlist.store import NetlistStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "netlists.sqlite"
+        store = NetlistStore(path)
+        key = ensure_suite_design(
+            store, "tseng" if quick else "alu4", 0.08 if quick else 1.0
+        )
+        return _best_of(lambda: NetlistStore(path).load_array(key), repeats)
+
+
 def phase_legalizer(repeats: int, quick: bool) -> float:
     """Legalize a deliberately overfull placement.
 
@@ -323,12 +345,21 @@ PHASES = (
     "embedder_tree6",
     "embedder_tree12",
     "embedder_lex3",
+    "netlist_load",
     "legalizer",
     "flow_micro",
     "route_winf",
     "route_lowstress",
     "wmin",
 )
+
+#: ``--ab`` flag name -> (run_phases keyword, legal values).
+AB_FLAGS = {
+    "engine": ("engine", ("fast", "reference")),
+    "wmin-engine": ("wmin_engine", ("fast", "reference")),
+    "kernel": ("kernel", ("auto", "scalar", "vector")),
+    "route-search": ("search", ("auto", "heap", "wavefront")),
+}
 
 
 def run_phases(
@@ -356,6 +387,7 @@ def run_phases(
     record("embedder_tree6", phase_embedder(6, micro))
     record("embedder_tree12", phase_embedder(12, micro))
     record("embedder_lex3", phase_embedder_lex3(micro))
+    record("netlist_load", phase_netlist_load(micro, quick))
     record("legalizer", phase_legalizer(micro, quick))
     record("flow_micro", phase_flow_micro(max(1, repeats - 1), quick))
     record("route_winf", phase_route_winf(repeats, quick, engine, kernel, search))
@@ -368,6 +400,59 @@ def run_phases(
         max(1, repeats - 2), quick, engine, wmin_engine, kernel, search
     ))
     return timings, samples
+
+
+def paired_ab(
+    base: dict[str, list[float]], cand: dict[str, list[float]]
+) -> dict[str, dict]:
+    """Paired-median comparison of two interleaved sample sets.
+
+    ``base``/``cand`` map phase name -> one sample per repeat, aligned by
+    repeat index (sample ``i`` of both arms ran back to back, so drift
+    affects the pair, not the ratio).  The headline ``speedup`` is the
+    ratio of the two medians; ``paired_speedups`` keeps the per-repeat
+    ratios so a reader can see the spread.
+    """
+    out: dict[str, dict] = {}
+    for name, base_samples in base.items():
+        cand_samples = cand.get(name)
+        if not base_samples or not cand_samples:
+            continue
+        n = min(len(base_samples), len(cand_samples))
+        base_med = _median(base_samples[:n])
+        cand_med = _median(cand_samples[:n])
+        out[name] = {
+            "base_median": round(base_med, 6),
+            "cand_median": round(cand_med, 6),
+            "speedup": round(base_med / cand_med, 4) if cand_med else math.inf,
+            "paired_speedups": [
+                round(base_samples[i] / cand_samples[i], 4)
+                for i in range(n)
+                if cand_samples[i]
+            ],
+        }
+    return out
+
+
+def run_ab(
+    repeats: int, quick: bool, base_kw: dict, cand_kw: dict
+) -> tuple[dict[str, list[float]], dict[str, list[float]]]:
+    """Run both arms ``repeats`` times, strictly interleaved.
+
+    Each repeat runs the full phase set for the baseline arm and then
+    for the candidate arm, so thermal/load drift lands on pairs rather
+    than on one arm.  Returns one best-of sample per phase per repeat.
+    """
+    base_samples: dict[str, list[float]] = {}
+    cand_samples: dict[str, list[float]] = {}
+    for repeat in range(repeats):
+        for arm_kw, arm_samples in (
+            (base_kw, base_samples), (cand_kw, cand_samples)
+        ):
+            timings, _ = run_phases(1, quick, **arm_kw)
+            for name, seconds in timings.items():
+                arm_samples.setdefault(name, []).append(seconds)
+    return base_samples, cand_samples
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -415,7 +500,28 @@ def main(argv: list[str] | None = None) -> int:
         help="uniform-regime search engine for the route_*/wmin phases "
         "(bit-identical results; auto = wavefront when numpy is available)",
     )
+    parser.add_argument(
+        "--ab",
+        default=None,
+        metavar="FLAG=VALUE",
+        help="paired A/B mode: run a baseline arm (the other flags as "
+        "given) and a candidate arm with FLAG overridden to VALUE, "
+        "strictly interleaved per repeat; FLAG is one of "
+        f"{', '.join(sorted(AB_FLAGS))}",
+    )
     args = parser.parse_args(argv)
+
+    ab_spec = None
+    if args.ab is not None:
+        flag, _, value = args.ab.partition("=")
+        if flag not in AB_FLAGS:
+            parser.error(
+                f"--ab flag {flag!r} not one of {', '.join(sorted(AB_FLAGS))}"
+            )
+        keyword, legal = AB_FLAGS[flag]
+        if value not in legal:
+            parser.error(f"--ab {flag} value {value!r} not one of {legal}")
+        ab_spec = (flag, keyword, value)
 
     try:
         from repro.perf import PERF
@@ -439,10 +545,41 @@ def main(argv: list[str] | None = None) -> int:
     except ImportError:  # seed code without the wavefront module
         resolved_search = "heap"
 
-    timings, samples = run_phases(
-        args.repeats, args.quick, args.engine, args.wmin_engine, args.kernel,
-        args.route_search,
-    )
+    ab_report = None
+    if ab_spec is not None:
+        flag, keyword, value = ab_spec
+        base_kw = {
+            "engine": args.engine,
+            "wmin_engine": args.wmin_engine,
+            "kernel": args.kernel,
+            "search": args.route_search,
+        }
+        cand_kw = dict(base_kw)
+        cand_kw[keyword] = value
+        base_samples, cand_samples = run_ab(
+            args.repeats, args.quick, base_kw, cand_kw
+        )
+        # The baseline arm doubles as this run's committed trajectory.
+        timings = {
+            name: min(vals) for name, vals in base_samples.items()
+        }
+        samples = {
+            name: [round(v, 6) for v in vals]
+            for name, vals in base_samples.items()
+        }
+        ab_report = {
+            "flag": flag,
+            "value": value,
+            "base": base_kw,
+            "candidate": cand_kw,
+            "repeats": args.repeats,
+            "phases": paired_ab(base_samples, cand_samples),
+        }
+    else:
+        timings, samples = run_phases(
+            args.repeats, args.quick, args.engine, args.wmin_engine,
+            args.kernel, args.route_search,
+        )
 
     report: dict = {
         "meta": {
@@ -468,10 +605,33 @@ def main(argv: list[str] | None = None) -> int:
         "samples": samples,
     }
     if PERF is not None:
-        report["counters"] = PERF.snapshot()["counters"]
-        report["timers"] = PERF.snapshot()["timers"]
+        try:
+            from repro.perf import sample_peak_rss
+
+            PERF.record_max("peak_rss_mb", sample_peak_rss())
+        except ImportError:  # seed code without the RSS gauge
+            pass
+        snapshot = PERF.snapshot()
+        report["counters"] = snapshot["counters"]
+        report["timers"] = snapshot["timers"]
+        if snapshot.get("maxes"):
+            report["maxes"] = snapshot["maxes"]
+    if ab_report is not None:
+        report["ab"] = ab_report
 
     width = max(len(name) for name in timings)
+    if ab_report is not None:
+        flag, value = ab_report["flag"], ab_report["value"]
+        print(f"A/B: baseline vs --{flag} {value} "
+              f"(paired medians over {args.repeats} interleaved repeats)")
+        print(f"{'phase':<{width}}  {'base med':>10}  {'cand med':>10}  "
+              f"speedup")
+        for name, row in ab_report["phases"].items():
+            print(
+                f"{name:<{width}}  {row['base_median']:>10.4f}  "
+                f"{row['cand_median']:>10.4f}  {row['speedup']:>6.2f}x"
+            )
+        print()
     if args.baseline is not None and args.baseline.exists():
         before = json.loads(args.baseline.read_text())
         before_phases = before.get("phases", before)

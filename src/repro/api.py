@@ -188,15 +188,47 @@ def load_design(
     blif: str | Path | None = None,
     scale: float = 0.08,
     lut_size: int = 4,
+    netlist_store: str | Path | None = None,
+    array: bool = False,
 ) -> Design:
     """Load a design from a suite circuit name or a BLIF file.
 
     Exactly one of ``circuit``/``blif`` must be given.  The architecture
     is the paper's protocol: the minimum square FPGA that fits the logic
     and the perimeter pads.
+
+    With ``netlist_store`` the design comes from (and is cached in) a
+    :class:`~repro.netlist.store.NetlistStore` database: suite circuits
+    are streamed in on first use without building the object form, BLIF
+    files are imported once.  The loaded netlist is identical either way
+    (iteration orders and ids included), so downstream results don't
+    change.  ``array=True`` additionally keeps the read-only
+    :class:`~repro.netlist.arrays.ArrayNetlist` instead of materializing
+    objects — valid for place/route/evaluate, not for :func:`optimize`
+    (which mutates the netlist).
     """
     if (circuit is None) == (blif is None):
         raise ValueError("give exactly one of circuit= or blif=")
+    if netlist_store is not None:
+        from repro.netlist.store import NetlistStore
+
+        store = NetlistStore(netlist_store)
+        if blif is not None:
+            path = Path(blif)
+            key = f"blif:{path.stem}"
+            if not store.has_design(key):
+                imported = read_blif(path.read_text())
+                store.save_design(key, imported, lut_size=lut_size)
+        else:
+            from repro.bench.suite import ensure_suite_design
+
+            key = ensure_suite_design(store, circuit, scale, lut_size=lut_size)
+        netlist = store.load_array(key)
+        if not array:
+            netlist = netlist.to_netlist()
+        arch = store.min_square_arch(key)
+        validate_netlist(netlist)
+        return Design(netlist=netlist, arch=arch, source=f"store:{key}")
     if blif is not None:
         path = Path(blif)
         netlist = read_blif(path.read_text())
@@ -444,6 +476,7 @@ def campaign_run(
     perf: bool = False,
     trace: bool = False,
     faults: dict[str, int] | None = None,
+    netlist_store: str | Path | None = None,
     echo=None,
 ):
     """Start a new campaign: build the task matrix and execute it.
@@ -454,6 +487,13 @@ def campaign_run(
     campaign can be killed at any point and picked up with
     :func:`campaign_resume`.  Returns a
     :class:`repro.campaign.CampaignSummary`.
+
+    With ``netlist_store`` the scheduler streams every design into the
+    shared store up front and workers open it read-only: task payloads
+    shrink to a path plus parameters instead of a pickled netlist (the
+    per-task payload bytes and worker peak RSS are recorded in the
+    campaign store's ``task_stats`` table).  Reports are byte-identical
+    either way.
     """
     from repro.bench.suite import resolve_names
     from repro.campaign import (
@@ -484,6 +524,7 @@ def campaign_run(
         perf=perf,
         trace=trace,
         faults=dict(faults or {}),
+        netlist_store=None if netlist_store is None else str(netlist_store),
     )
     store = CampaignStore.in_dir(campaign_dir)
     if store.task_rows():

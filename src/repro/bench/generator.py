@@ -55,6 +55,23 @@ def generate_circuit(
     spec: CircuitSpec, scale: float = 1.0, lut_size: int = 4
 ) -> Netlist:
     """Generate a deterministic netlist for ``spec`` at ``scale``."""
+    netlist = Netlist(spec.name)
+    generate_into(netlist, spec, scale=scale, lut_size=lut_size)
+    return netlist
+
+
+def generate_into(builder, spec: CircuitSpec, scale: float = 1.0, lut_size: int = 4):
+    """Generate ``spec`` into any netlist *builder*.
+
+    ``builder`` is either an object :class:`Netlist` or a
+    :class:`~repro.netlist.store.NetlistStreamBuilder`: anything with
+    ``add_input``/``add_ff``/``add_lut``/``add_output`` returning handles
+    that expose ``.cell_id``, plus ``connect``, ``fanout_count`` and
+    ``sweep_redundant``.  The RNG call sequence depends only on pool
+    sizes and handle ids — both identical across builders — so the
+    streamed store design is row-for-row the netlist this function
+    builds in memory (tested in ``tests/netlist/test_store.py``).
+    """
     token = f"{spec.name}:{spec.seed}:{round(scale * 1e6)}"
     rng = random.Random(zlib.crc32(token.encode()))
     n_blocks = max(8, round(spec.luts * scale))
@@ -68,7 +85,7 @@ def generate_circuit(
     n_pos = max(2, total_io - n_pis)
     depth = max(3, min(spec.depth, n_luts))
 
-    netlist = Netlist(spec.name)
+    netlist = builder
     pis = [netlist.add_input(f"pi{i}") for i in range(n_pis)]
     ffs = [netlist.add_ff(f"ff{i}") for i in range(n_ffs)]
 
@@ -113,7 +130,7 @@ def generate_circuit(
     # Any remaining fanout-free LUTs are swept (small count drift that
     # the tables report as measured values anyway).
     netlist.sweep_redundant()
-    return netlist
+    return builder
 
 
 def _pick_drivers(

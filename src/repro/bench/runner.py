@@ -77,7 +77,7 @@ class BaselineRun:
     route_kernel: str = "scalar"
     route_search: str = "heap"
 
-    def to_dict(self) -> dict:
+    def to_dict(self, store_refs: tuple[str, str] | None = None) -> dict:
         """JSON-ready round-trip payload (exact: ids and dict orders).
 
         Uses the id-preserving checkpoint serializers for the netlist
@@ -85,12 +85,18 @@ class BaselineRun:
         baseline is bit-identical to one on the original — that is what
         lets campaign variant tasks run in a different process than
         their baseline.
+
+        ``store_refs=(design_key, placement_key)`` is the zero-copy
+        variant: the netlist and placement are referenced by their keys
+        in a shared :class:`~repro.netlist.store.NetlistStore` instead
+        of being embedded, shrinking a campaign result row from the full
+        serialized design to a few scalars.  The arch stays inline — the
+        report tables print ``str(run.arch)``, and scalars must suffice
+        to render a report without opening the netlist store.
         """
-        return {
+        data = {
             "name": self.name,
             "arch": arch_to_dict(self.arch),
-            "netlist": netlist_to_dict(self.netlist),
-            "placement": placement_to_dict(self.placement),
             "w_inf": self.w_inf,
             "w_ls": self.w_ls,
             "wirelength": self.wirelength,
@@ -104,14 +110,37 @@ class BaselineRun:
             "route_kernel": self.route_kernel,
             "route_search": self.route_search,
         }
+        if store_refs is None:
+            data["netlist"] = netlist_to_dict(self.netlist)
+            data["placement"] = placement_to_dict(self.placement)
+        else:
+            data["netlist_ref"], data["placement_ref"] = store_refs
+        return data
 
     @classmethod
-    def from_dict(cls, data: dict) -> "BaselineRun":
+    def from_dict(cls, data: dict, store=None) -> "BaselineRun":
+        """Rebuild from :meth:`to_dict` output.
+
+        For a store-ref payload, pass the shared ``NetlistStore`` to
+        load the full netlist+placement (what a variant worker needs);
+        without it the run comes back scalars-only (netlist/placement
+        ``None``), which is all report rendering requires.
+        """
         arch = arch_from_dict(data["arch"])
+        if "netlist_ref" in data:
+            if store is not None:
+                netlist = store.load_netlist(data["netlist_ref"])
+                placement = store.load_placement(data["placement_ref"], arch=arch)
+            else:
+                netlist = None
+                placement = None
+        else:
+            netlist = netlist_from_dict(data["netlist"])
+            placement = placement_from_dict(data["placement"], arch)
         return cls(
             name=data["name"],
-            netlist=netlist_from_dict(data["netlist"]),
-            placement=placement_from_dict(data["placement"], arch),
+            netlist=netlist,
+            placement=placement,
             arch=arch,
             w_inf=data["w_inf"],
             w_ls=data["w_ls"],
@@ -193,6 +222,7 @@ def run_vpr_baseline(
     start_width: int | None = None,
     route_kernel: str | None = None,
     route_search: str | None = None,
+    netlist_store: str | None = None,
 ) -> BaselineRun:
     """Generate, place (timing-driven SA) and route one suite circuit.
 
@@ -200,12 +230,27 @@ def run_vpr_baseline(
     tune the W_min search and router only — the measured width is
     identical for every setting (``start_width`` typically comes from a
     previous run's cache, see ``--run-dir``).
+
+    ``netlist_store`` loads the circuit from (streaming it into, on
+    first use) a :class:`~repro.netlist.store.NetlistStore` as a
+    read-only array netlist — the baseline flow never mutates the
+    netlist, so placement and routing run on the flat vectors directly.
+    All measured numbers are identical to the in-memory path.
     """
     from repro.route.kernels import resolve_kernel
     from repro.route.wavefront import resolve_search
 
     start = time.perf_counter()
-    netlist, arch = suite_circuit(name, scale=scale)
+    if netlist_store is not None:
+        from repro.bench.suite import ensure_suite_design
+        from repro.netlist.store import NetlistStore
+
+        nl_store = NetlistStore(netlist_store)
+        key = ensure_suite_design(nl_store, name, scale)
+        netlist = nl_store.load_array(key)
+        arch = nl_store.min_square_arch(key)
+    else:
+        netlist, arch = suite_circuit(name, scale=scale)
     placement, _stats = place_timing_driven(
         netlist, arch, seed=seed, inner_scale=inner_scale
     )
@@ -468,6 +513,14 @@ def main(argv: list[str] | None = None) -> int:
         "warm-start repeat evaluations from it",
     )
     parser.add_argument(
+        "--netlist-store",
+        default=None,
+        metavar="PATH",
+        help="load circuits from (building into, on first use) this "
+        "netlist store database instead of generating them in memory "
+        "(identical results)",
+    )
+    parser.add_argument(
         "--perf-json",
         default=None,
         metavar="PATH",
@@ -500,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
             start_width=wmin_cache.wmin_get(key) if wmin_cache else None,
             route_kernel=args.route_kernel,
             route_search=args.route_search,
+            netlist_store=args.netlist_store,
         )
         if wmin_cache is not None:
             wmin_cache.wmin_set(key, baseline.min_width)
@@ -552,6 +606,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             total_pr += baseline.place_route_seconds
             total_opt += run.seconds
+        from repro.perf import sample_peak_rss
+
+        PERF.record_max("peak_rss_mb", sample_peak_rss())
         PERF.disable()
         print(tables.format_overhead(total_opt, total_pr, scale=args.scale))
         print()

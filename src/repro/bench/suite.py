@@ -64,6 +64,35 @@ def suite_circuit(
     return netlist, arch
 
 
+def stream_suite_circuit(store, name: str, scale: float = 1.0, lut_size: int = 4) -> dict:
+    """Stream one suite circuit straight into a netlist store.
+
+    The circuit never exists as Python objects: the generator writes
+    cells/nets/pins through a
+    :class:`~repro.netlist.store.NetlistStreamBuilder`, which is how
+    ``--scale 10``/``100`` designs that would not fit in memory get
+    built.  Returns the stored design's count summary.
+    """
+    from repro.bench.generator import generate_into
+    from repro.netlist.store import design_key
+
+    spec = SPEC_BY_NAME[name]
+    key = design_key(name, scale)
+    with store.stream_builder(key, spec.name, lut_size) as builder:
+        generate_into(builder, spec, scale=scale, lut_size=lut_size)
+    return store.design_info(key)
+
+
+def ensure_suite_design(store, name: str, scale: float, lut_size: int = 4) -> str:
+    """Make sure ``store`` holds the suite circuit; return its design key."""
+    from repro.netlist.store import design_key
+
+    key = design_key(name, scale)
+    if not store.has_design(key):
+        stream_suite_circuit(store, name, scale=scale, lut_size=lut_size)
+    return key
+
+
 def suite_names(subset: str = "all") -> list[str]:
     """Circuit names: 'all', 'small' (< 3K cells), or 'large'."""
     if subset == "all":

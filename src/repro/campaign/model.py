@@ -81,6 +81,12 @@ class CampaignConfig:
     ``faults`` is the test-facing fault-injection hook: task id → number
     of injected failures; a negative count makes the task hang instead
     of raise (exercising the timeout path).
+
+    ``netlist_store`` is the zero-copy worker mode: a path to a shared
+    :mod:`repro.netlist.store` database.  The scheduler streams every
+    design into it before launching workers; workers open it read-only
+    and task payloads carry the path instead of pickled netlists.
+    Results and reports are byte-identical either way.
     """
 
     circuits: list[str]
@@ -99,6 +105,7 @@ class CampaignConfig:
     perf: bool = False
     trace: bool = False
     faults: dict[str, int] = field(default_factory=dict)
+    netlist_store: str | None = None
 
     def __post_init__(self) -> None:
         from repro.bench.runner import ALGORITHMS

@@ -121,6 +121,25 @@ def render_status(store: CampaignStore) -> str:
     cache = store.wmin_all()
     if cache:
         lines.append(f"wmin cache: {len(cache)} warm-start entries")
+    stats = store.task_stats()
+    payloads = [
+        s["payload_bytes"] for s in stats.values()
+        if s["payload_bytes"] is not None
+    ]
+    rss = [
+        s["peak_rss_mb"] for s in stats.values()
+        if s["peak_rss_mb"] is not None
+    ]
+    if payloads or rss:
+        parts = []
+        if payloads:
+            parts.append(
+                f"payload max {max(payloads)} B / "
+                f"mean {sum(payloads) / len(payloads):.0f} B"
+            )
+        if rss:
+            parts.append(f"worker peak RSS max {max(rss):.1f} MB")
+        lines.append(f"task stats: {'; '.join(parts)}")
     return "\n".join(lines)
 
 

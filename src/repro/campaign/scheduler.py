@@ -71,11 +71,12 @@ def execute_task(payload: dict) -> dict:
         )
 
     from repro.bench.runner import BaselineRun, run_variant, run_vpr_baseline
-    from repro.perf import PERF
+    from repro.perf import PERF, sample_peak_rss
 
     perf_on = payload.get("perf", False)
     trace_on = payload.get("trace", False)
     campaign_dir = payload.get("campaign_dir")
+    store_path = payload.get("netlist_store")
     if perf_on:
         PERF.reset()
         PERF.enable()
@@ -94,22 +95,46 @@ def execute_task(payload: dict) -> dict:
                 start_width=payload.get("start_width"),
                 route_kernel=payload.get("route_kernel"),
                 route_search=payload.get("route_search"),
+                netlist_store=store_path,
             )
-        else:
-            baseline = BaselineRun.from_dict(payload["baseline"])
-            run = run_variant(
-                baseline,
-                task["algorithm"],
-                effort=payload.get("effort", 1.0),
-                seed=task["seed"],
-                route_jobs=payload.get("route_jobs", 1),
-                route_kernel=payload.get("route_kernel"),
-                route_search=payload.get("route_search"),
-            )
+            if store_path is None:
+                return run.to_dict()
+            # Zero-copy mode: the design is already in the shared store;
+            # park the placement next to it and return scalars + refs so
+            # the campaign row (and the variant payloads built from it)
+            # never carry a serialized netlist.
+            from repro.netlist.store import NetlistStore, design_key
+
+            nl_store = NetlistStore(store_path)
+            dkey = design_key(task["circuit"], task["scale"])
+            nl_store.save_placement(task["task_id"], run.placement, design_key=dkey)
+            return run.to_dict(store_refs=(dkey, task["task_id"]))
+        baseline_data = payload["baseline"]
+        nl_store = None
+        if "netlist_ref" in baseline_data:
+            from repro.netlist.store import NetlistStore
+
+            if store_path is None:
+                raise RuntimeError(
+                    f"baseline of {task['task_id']} references a netlist "
+                    f"store but the campaign has none configured"
+                )
+            nl_store = NetlistStore(store_path)
+        baseline = BaselineRun.from_dict(baseline_data, store=nl_store)
+        run = run_variant(
+            baseline,
+            task["algorithm"],
+            effort=payload.get("effort", 1.0),
+            seed=task["seed"],
+            route_jobs=payload.get("route_jobs", 1),
+            route_kernel=payload.get("route_kernel"),
+            route_search=payload.get("route_search"),
+        )
         return run.to_dict()
     finally:
         name = artifact_name(task["task_id"])
         if perf_on:
+            PERF.record_max("peak_rss_mb", sample_peak_rss())
             PERF.disable()
             if campaign_dir is not None:
                 PERF.write_snapshot(Path(campaign_dir) / PERF_DIR / f"{name}.json")
@@ -123,10 +148,17 @@ def execute_task(payload: dict) -> dict:
 
 
 def _worker_main(conn, payload: dict) -> None:
-    """Process entry point: run the task, report over the pipe, exit."""
+    """Process entry point: run the task, report over the pipe, exit.
+
+    The success message is a 3-tuple: result dict plus a small stats
+    dict (worker peak RSS) the parent folds into the campaign store's
+    ``task_stats`` table.
+    """
+    from repro.perf import sample_peak_rss
+
     try:
         result = execute_task(payload)
-        conn.send(("ok", result))
+        conn.send(("ok", result, {"peak_rss_mb": sample_peak_rss()}))
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -212,6 +244,7 @@ class CampaignScheduler:
     def run(self) -> CampaignSummary:
         start = time.monotonic()
         tasks = self.store.tasks()
+        self._prebuild_designs(tasks)
         self._by_id = {task.task_id: task for task in tasks}
         self._dependents.clear()
         for task in tasks:
@@ -254,6 +287,33 @@ class CampaignScheduler:
             self._kill_all()
         return self._summarize(time.monotonic() - start)
 
+    def _prebuild_designs(self, tasks: list[Task]) -> None:
+        """Zero-copy mode: stream every design into the shared store.
+
+        Runs in the parent before any worker launches, so workers only
+        ever *read* the netlist store (the single-writer moment is here,
+        not under worker concurrency).  Designs already present — a
+        resumed campaign, or a store built beforehand with ``repro
+        netlist build`` — are kept as-is.
+        """
+        if self.config.netlist_store is None:
+            return
+        from repro.bench.suite import ensure_suite_design
+        from repro.netlist.store import NetlistStore
+
+        nl_store = NetlistStore(self.config.netlist_store)
+        seen: set[tuple[str, float]] = set()
+        for task in tasks:
+            coords = (task.circuit, task.scale)
+            if coords in seen:
+                continue
+            seen.add(coords)
+            ensure_suite_design(nl_store, task.circuit, task.scale)
+        self.echo(
+            f"netlist store {nl_store.path}: "
+            f"{len(seen)} design(s) ready"
+        )
+
     # -- scheduling ----------------------------------------------------
 
     def _promote_delayed(self) -> None:
@@ -294,6 +354,11 @@ class CampaignScheduler:
         self._attempts[task.task_id] = attempt
         self._lifetime[task.task_id] = self._lifetime.get(task.task_id, 0) + 1
         payload = self._payload(task, attempt)
+        import pickle
+
+        self.store.record_task_stats(
+            task.task_id, payload_bytes=len(pickle.dumps(payload))
+        )
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_worker_main, args=(child_conn, payload), daemon=True
@@ -328,6 +393,7 @@ class CampaignScheduler:
             "perf": config.perf,
             "trace": config.trace,
             "campaign_dir": str(self.campaign_dir),
+            "netlist_store": config.netlist_store,
             "inject": self._fault_code(task.task_id, attempt),
         }
         if task.kind == "baseline":
@@ -386,8 +452,12 @@ class CampaignScheduler:
 
     def _reap(self, handle: _Handle) -> None:
         """Collect a worker whose pipe is readable or which has exited."""
+        stats = None
         try:
-            kind, payload = handle.conn.recv()
+            message = handle.conn.recv()
+            kind, payload = message[0], message[1]
+            if len(message) > 2:  # ("ok", result, stats) since task_stats
+                stats = message[2]
         except (EOFError, OSError):
             handle.process.join()
             kind, payload = "error", (
@@ -397,7 +467,7 @@ class CampaignScheduler:
         handle.process.join()
         self._close(handle)
         if kind == "ok":
-            self._record_done(handle, payload)
+            self._record_done(handle, payload, stats)
         else:
             self._record_failure(handle, payload)
 
@@ -408,11 +478,21 @@ class CampaignScheduler:
             pass
         self._running.pop(handle.task.task_id, None)
 
-    def _record_done(self, handle: _Handle, result: dict) -> None:
+    def _record_done(
+        self, handle: _Handle, result: dict, stats: dict | None = None
+    ) -> None:
         task = handle.task
         seconds = time.monotonic() - handle.started
         self.store.mark_done(task.task_id, result, seconds)
         self._status[task.task_id] = "done"
+        if stats and stats.get("peak_rss_mb") is not None:
+            self.store.record_task_stats(
+                task.task_id, peak_rss_mb=stats["peak_rss_mb"]
+            )
+            from repro.perf import PERF
+
+            if PERF.enabled:
+                PERF.record_max("peak_rss_mb", stats["peak_rss_mb"])
         if task.kind == "baseline":
             from repro.bench.runner import wmin_cache_key
 

@@ -65,6 +65,12 @@ CREATE TABLE IF NOT EXISTS wmin (
     key   TEXT PRIMARY KEY,
     width INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS task_stats (
+    task_id       TEXT PRIMARY KEY,
+    payload_bytes INTEGER,
+    peak_rss_mb   REAL,
+    updated_at    REAL
+);
 """
 
 
@@ -250,6 +256,45 @@ class CampaignStore:
                 "WHERE status != 'done'"
             )
             return cursor.rowcount
+
+    # -- per-task IPC/memory stats ------------------------------------
+
+    def record_task_stats(
+        self,
+        task_id: str,
+        *,
+        payload_bytes: int | None = None,
+        peak_rss_mb: float | None = None,
+    ) -> None:
+        """Upsert a task's IPC payload size and worker peak RSS.
+
+        The two fields arrive at different times (payload at launch,
+        RSS at completion), so each update keeps whatever the other
+        call already wrote.
+        """
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO task_stats(task_id, payload_bytes, peak_rss_mb,"
+                " updated_at) VALUES(?,?,?,?)"
+                " ON CONFLICT(task_id) DO UPDATE SET"
+                " payload_bytes=COALESCE(excluded.payload_bytes, payload_bytes),"
+                " peak_rss_mb=COALESCE(excluded.peak_rss_mb, peak_rss_mb),"
+                " updated_at=excluded.updated_at",
+                (task_id, payload_bytes, peak_rss_mb, time.time()),
+            )
+
+    def task_stats(self) -> dict[str, dict]:
+        """All recorded stats, keyed by task id."""
+        with self._connect() as conn:
+            return {
+                row["task_id"]: {
+                    "payload_bytes": row["payload_bytes"],
+                    "peak_rss_mb": row["peak_rss_mb"],
+                }
+                for row in conn.execute(
+                    "SELECT task_id, payload_bytes, peak_rss_mb FROM task_stats"
+                )
+            }
 
     # -- W_min warm-start cache ---------------------------------------
 

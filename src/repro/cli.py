@@ -62,6 +62,11 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
                         dest="place_effort", help="annealer inner_num scale")
     parser.add_argument("--in-placement", type=Path,
                         help="start from a saved placement instead of SA")
+    parser.add_argument("--netlist-store", type=Path, default=None,
+                        dest="netlist_store", metavar="DB",
+                        help="load the design from (building into, on first "
+                        "use) this netlist store database; results are "
+                        "byte-identical with and without it")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-task perf snapshots into DIR/perf/")
     crun.add_argument("--trace", action="store_true",
                       help="per-task Chrome traces into DIR/trace/")
+    crun.add_argument("--netlist-store", type=Path, default=None,
+                      dest="netlist_store", metavar="DB",
+                      help="share one read-only netlist store across workers "
+                      "instead of pickling netlists into task payloads")
     crun.add_argument("--inject-fault", action="append", default=[],
                       dest="inject_fault", metavar="TASK=N",
                       help="testing hook: fail TASK's first N attempts "
@@ -229,6 +238,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render even when some tasks have no result")
     creport.set_defaults(func=cmd_campaign_report)
 
+    netlist = sub.add_parser(
+        "netlist",
+        help="netlist store maintenance (build a design, inspect a store)",
+    )
+    nl_sub = netlist.add_subparsers(dest="netlist_command", required=True)
+
+    nbuild = nl_sub.add_parser(
+        "build", help="(re)build one design into a netlist store"
+    )
+    nbuild.add_argument("store", type=Path, help="store database path")
+    nsource = nbuild.add_mutually_exclusive_group(required=True)
+    nsource.add_argument("--blif", type=Path, help="input BLIF netlist")
+    nsource.add_argument(
+        "--circuit",
+        choices=sorted(SPEC_BY_NAME),
+        help="stream an MCNC-calibrated suite circuit into the store",
+    )
+    nbuild.add_argument("--scale", type=float, default=0.08,
+                        help="suite-circuit scale (with --circuit)")
+    nbuild.add_argument("--lut-size", type=int, default=4, dest="lut_size")
+    nbuild.set_defaults(func=cmd_netlist_build)
+
+    ninfo = nl_sub.add_parser(
+        "info", help="print store size, schema version and design counts"
+    )
+    ninfo.add_argument("store", type=Path, help="store database path")
+    ninfo.set_defaults(func=cmd_netlist_info)
+
     return parser
 
 
@@ -238,12 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_and_place(args) -> tuple[api.Design, api.PlaceResult]:
+    store = args.netlist_store
     if args.blif is not None:
-        design = api.load_design(blif=args.blif)
+        design = api.load_design(blif=args.blif, netlist_store=store)
         print(f"read {args.blif}: {design.netlist.num_logic_blocks} logic "
               f"blocks, {design.netlist.num_pads} pads -> {design.arch} FPGA")
     else:
-        design = api.load_design(circuit=args.circuit, scale=args.scale)
+        design = api.load_design(
+            circuit=args.circuit, scale=args.scale, netlist_store=store
+        )
         print(f"generated {args.circuit} @ scale {args.scale:g}: "
               f"{design.netlist.num_logic_blocks} logic blocks on {design.arch}")
 
@@ -313,6 +353,9 @@ def cmd_run(args) -> int:
             _record_route_result(args.run_dir, routed)
 
     if args.perf and PERF.enabled:
+        from repro.perf import sample_peak_rss
+
+        PERF.record_max("peak_rss_mb", sample_peak_rss())
         PERF.disable()
         print(PERF.format())
 
@@ -414,6 +457,64 @@ def cmd_trace_view(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# Netlist store subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_netlist_build(args) -> int:
+    from repro.netlist.store import NetlistStore, NetlistStoreError
+
+    store = NetlistStore(args.store)
+    try:
+        if args.blif is not None:
+            from repro.netlist.blif import read_blif
+
+            key = f"blif:{args.blif.stem}"
+            store.save_design(
+                key, read_blif(args.blif.read_text()), lut_size=args.lut_size
+            )
+        else:
+            from repro.bench.suite import stream_suite_circuit
+            from repro.netlist.store import design_key
+
+            key = design_key(args.circuit, args.scale)
+            stream_suite_circuit(
+                store, args.circuit, scale=args.scale, lut_size=args.lut_size
+            )
+    except (OSError, NetlistStoreError) as exc:
+        print(f"repro netlist build: {exc}", file=sys.stderr)
+        return 1
+    info = store.design_info(key)
+    print(
+        f"built {key} in {args.store}: {info['cells']} cells, "
+        f"{info['nets']} nets, {info['pins']} pins "
+        f"({info['luts']} LUTs, {info['ffs']} FFs, {info['pads']} pads)"
+    )
+    return 0
+
+
+def cmd_netlist_info(args) -> int:
+    from repro.netlist.store import NetlistStore, NetlistStoreError
+
+    if not args.store.exists():
+        print(f"repro netlist info: no store at {args.store}", file=sys.stderr)
+        return 1
+    try:
+        store = NetlistStore(args.store)
+        info = store.info()
+    except NetlistStoreError as exc:
+        print(f"repro netlist info: {exc}", file=sys.stderr)
+        return 1
+    print(f"store {args.store}: schema v{info['schema_version']}, "
+          f"{len(info['designs'])} design(s), {info['size_bytes']} bytes")
+    for design in info["designs"]:
+        print(f"  {design['key']}: {design['cells']} cells, "
+              f"{design['nets']} nets, {design['pins']} pins "
+              f"(lut_size {design['lut_size']})")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Campaign subcommands
 # ----------------------------------------------------------------------
 
@@ -462,6 +563,7 @@ def cmd_campaign_run(args) -> int:
             route_search=args.route_search,
             perf=args.perf,
             trace=args.trace,
+            netlist_store=args.netlist_store,
             faults=_parse_faults(args.inject_fault),
             echo=print,
         )

@@ -158,6 +158,12 @@ class RunConfig:
         route_jobs: Worker processes for W-infinity routing.
         checkpoint_every: Checkpoint the flow every N iterations
             (0 = disabled; needs a run directory).
+        netlist_store: Path of a :mod:`repro.netlist.store` database to
+            load the design from (building/caching it there on first
+            use) instead of generating it in memory.  Results are
+            byte-identical either way; the store is purely an execution
+            knob, which is why it lives here and not in
+            :class:`ReplicationConfig` (whose hash keys checkpoints).
     """
 
     circuit: str | None = None
@@ -172,6 +178,7 @@ class RunConfig:
     route: bool = False
     route_jobs: int = 1
     checkpoint_every: int = 0
+    netlist_store: str | None = None
 
     @classmethod
     def from_args(cls, args) -> "RunConfig":
@@ -185,6 +192,8 @@ class RunConfig:
             kwargs[spec.name] = value
         if kwargs["blif"] is not None:
             kwargs["blif"] = str(kwargs["blif"])
+        if kwargs["netlist_store"] is not None:
+            kwargs["netlist_store"] = str(kwargs["netlist_store"])
         return cls(**kwargs)
 
     def to_dict(self) -> dict:

@@ -1,0 +1,745 @@
+"""The durable netlist store (``netlists.sqlite``).
+
+One SQLite database holds any number of *designs* — each a full netlist
+(cells, nets, pin connections, LUT truth tables) keyed by a string like
+``"tseng@0.08"`` — in WAL mode with per-operation connections, the same
+durability recipe as ``campaign.sqlite``: the campaign scheduler's
+forked workers can each open the store read-only without ever inheriting
+a SQLite descriptor from the parent.
+
+Three access paths, by decreasing strictness of what they preserve:
+
+* :meth:`NetlistStore.save_design` / :meth:`NetlistStore.load_netlist`
+  round-trip the **exact object netlist** — cell/net ids, eq-classes,
+  dict insertion orders, id-allocation cursors and the ``_names`` set
+  all survive, to the same bar as the checkpoint serializers
+  (``netlist_to_dict(load(save(nl))) == netlist_to_dict(nl)``).
+* :meth:`NetlistStore.load_array` loads the same design into a read-only
+  :class:`~repro.netlist.arrays.ArrayNetlist` in one pass — flat vectors
+  + CSR connectivity, no per-cell Python objects — for the place/route
+  flows that never mutate the netlist.
+* :meth:`NetlistStore.stream_builder` builds a design **without ever
+  materializing the object form**: the suite generator writes cells,
+  nets and pins straight into the store through the same
+  ``add_*``/``connect``/``sweep_redundant`` interface as
+  :class:`~repro.netlist.netlist.Netlist`, keeping only compact per-cell
+  scalars in memory.  A ``--scale 100`` circuit streams in a few flat
+  arrays instead of millions of dataclass instances.
+
+The build is one transaction per design (the stream builder is the one
+deliberate exception to per-operation connections: it holds a single
+connection for the duration of one atomic build), so a kill mid-build
+leaves either the previous design or none — never a torn one.
+
+Truth tables are stored as hex text: a K-input LUT's table has ``2**K``
+bits, which overflows SQLite's 64-bit integers already at K = 7.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from array import array
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.netlist.arrays import KIND_CODE, KIND_ORDER, ArrayNetlist
+from repro.netlist.netlist import Netlist, NetlistError
+
+STORE_FILE = "netlists.sqlite"
+
+#: Bump when the table layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_INPUT = KIND_CODE[KIND_ORDER[0]]
+_OUTPUT = KIND_CODE[KIND_ORDER[1]]
+
+#: Rows buffered in the stream builder before an ``executemany`` flush.
+_FLUSH_ROWS = 20000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS designs (
+    id           INTEGER PRIMARY KEY,
+    key          TEXT NOT NULL UNIQUE,
+    name         TEXT NOT NULL,
+    next_cell_id INTEGER NOT NULL,
+    next_net_id  INTEGER NOT NULL,
+    lut_size     INTEGER NOT NULL,
+    num_cells    INTEGER NOT NULL,
+    num_nets     INTEGER NOT NULL,
+    num_pins     INTEGER NOT NULL,
+    num_luts     INTEGER NOT NULL,
+    num_ffs      INTEGER NOT NULL,
+    num_pads     INTEGER NOT NULL,
+    extra_names  TEXT,
+    created_at   REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    design      INTEGER NOT NULL,
+    ord         INTEGER NOT NULL,
+    cell_id     INTEGER NOT NULL,
+    name        TEXT NOT NULL,
+    kind        INTEGER NOT NULL,
+    num_inputs  INTEGER NOT NULL,
+    output      INTEGER,
+    truth_table TEXT,
+    eq_class    INTEGER NOT NULL
+);
+CREATE UNIQUE INDEX IF NOT EXISTS cells_ord ON cells(design, ord);
+CREATE UNIQUE INDEX IF NOT EXISTS cells_id ON cells(design, cell_id);
+CREATE TABLE IF NOT EXISTS nets (
+    design  INTEGER NOT NULL,
+    ord     INTEGER NOT NULL,
+    net_id  INTEGER NOT NULL,
+    name    TEXT NOT NULL,
+    driver  INTEGER
+);
+CREATE UNIQUE INDEX IF NOT EXISTS nets_ord ON nets(design, ord);
+CREATE UNIQUE INDEX IF NOT EXISTS nets_id ON nets(design, net_id);
+CREATE TABLE IF NOT EXISTS pins (
+    design  INTEGER NOT NULL,
+    net_ord INTEGER NOT NULL,
+    ord     INTEGER NOT NULL,
+    cell    INTEGER NOT NULL,
+    pin     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS pins_net ON pins(design, net_ord, ord);
+CREATE INDEX IF NOT EXISTS pins_cell ON pins(design, cell);
+CREATE TABLE IF NOT EXISTS placements (
+    key        TEXT PRIMARY KEY,
+    design_key TEXT NOT NULL,
+    arch       TEXT NOT NULL,
+    data       TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+"""
+
+
+class NetlistStoreError(NetlistError):
+    """Raised on missing designs or invalid store files."""
+
+
+def design_key(circuit: str, scale: float) -> str:
+    """Canonical store key of a suite circuit at a scale (``tseng@0.08``)."""
+    return f"{circuit}@{scale:g}"
+
+
+def _encode_tt(truth_table: int | None) -> str | None:
+    return None if truth_table is None else format(truth_table, "x")
+
+
+def _decode_tt(text: str | None) -> int | None:
+    return None if text is None else int(text, 16)
+
+
+class NetlistStore:
+    """Facade over one netlist database (see module docstring)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES(?, ?)",
+                ("schema_version", json.dumps(SCHEMA_VERSION)),
+            )
+
+    @contextmanager
+    def _connect(self):
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        try:
+            yield conn
+            conn.commit()
+        finally:
+            conn.close()
+
+    # -- introspection -------------------------------------------------
+
+    def schema_version(self) -> int:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+        return 0 if row is None else json.loads(row["value"])
+
+    def has_design(self, key: str) -> bool:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM designs WHERE key=?", (key,)
+            ).fetchone()
+        return row is not None
+
+    def design_keys(self) -> list[str]:
+        with self._connect() as conn:
+            return [
+                row["key"]
+                for row in conn.execute("SELECT key FROM designs ORDER BY id")
+            ]
+
+    def design_info(self, key: str) -> dict:
+        """Stored counts of one design (no netlist data is loaded)."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM designs WHERE key=?", (key,)
+            ).fetchone()
+        if row is None:
+            raise NetlistStoreError(f"no design {key!r} in {self.path}")
+        return {
+            "key": row["key"],
+            "name": row["name"],
+            "lut_size": row["lut_size"],
+            "cells": row["num_cells"],
+            "nets": row["num_nets"],
+            "pins": row["num_pins"],
+            "luts": row["num_luts"],
+            "ffs": row["num_ffs"],
+            "pads": row["num_pads"],
+        }
+
+    def info(self) -> dict:
+        """Store-level summary: schema version, file size, all designs."""
+        designs = [self.design_info(key) for key in self.design_keys()]
+        size = self.path.stat().st_size if self.path.exists() else 0
+        for suffix in ("-wal", "-shm"):
+            side = Path(str(self.path) + suffix)
+            if side.exists():
+                size += side.stat().st_size
+        return {
+            "path": str(self.path),
+            "schema_version": self.schema_version(),
+            "size_bytes": size,
+            "designs": designs,
+        }
+
+    # -- save ----------------------------------------------------------
+
+    def save_design(self, key: str, netlist, lut_size: int = 4) -> dict:
+        """Store a netlist under ``key`` (replacing any previous design).
+
+        Accepts an object :class:`Netlist` or an :class:`ArrayNetlist`
+        (whose mapping views iterate identically).  One transaction:
+        readers see either the old design or the new one.
+        """
+        cell_rows = []
+        num_pins = 0
+        for ord_, cell in enumerate(netlist.cells.values()):
+            cell_rows.append(
+                (
+                    ord_,
+                    cell.cell_id,
+                    cell.name,
+                    KIND_CODE[cell.ctype],
+                    cell.num_inputs,
+                    cell.output,
+                    _encode_tt(cell.truth_table),
+                    cell.eq_class,
+                )
+            )
+        net_rows = []
+        pin_rows = []
+        for ord_, net in enumerate(netlist.nets.values()):
+            net_rows.append((ord_, net.net_id, net.name, net.driver))
+            for sink_ord, (cell_id, pin) in enumerate(net.sinks):
+                pin_rows.append((ord_, sink_ord, cell_id, pin))
+            num_pins += len(net.sinks)
+        derived = {cell.name for cell in netlist.cells.values()} | {
+            net.name for net in netlist.nets.values()
+        }
+        extra = sorted(netlist._names - derived)
+        with self._connect() as conn:
+            self._drop_design(conn, key)
+            cursor = conn.execute(
+                "INSERT INTO designs(key, name, next_cell_id, next_net_id,"
+                " lut_size, num_cells, num_nets, num_pins, num_luts, num_ffs,"
+                " num_pads, extra_names, created_at)"
+                " VALUES(?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    key,
+                    netlist.name,
+                    netlist._next_cell_id,
+                    netlist._next_net_id,
+                    lut_size,
+                    netlist.num_cells,
+                    len(netlist.nets),
+                    num_pins,
+                    netlist.num_luts,
+                    netlist.num_ffs,
+                    netlist.num_pads,
+                    json.dumps(extra) if extra else None,
+                    time.time(),
+                ),
+            )
+            design = cursor.lastrowid
+            conn.executemany(
+                "INSERT INTO cells(design, ord, cell_id, name, kind,"
+                " num_inputs, output, truth_table, eq_class)"
+                f" VALUES({design},?,?,?,?,?,?,?,?)",
+                cell_rows,
+            )
+            conn.executemany(
+                f"INSERT INTO nets(design, ord, net_id, name, driver)"
+                f" VALUES({design},?,?,?,?)",
+                net_rows,
+            )
+            conn.executemany(
+                "INSERT INTO pins(design, net_ord, ord, cell, pin)"
+                f" VALUES({design},?,?,?,?)",
+                pin_rows,
+            )
+        return self.design_info(key)
+
+    @staticmethod
+    def _drop_design(conn, key: str) -> None:
+        row = conn.execute("SELECT id FROM designs WHERE key=?", (key,)).fetchone()
+        if row is None:
+            return
+        design = row["id"]
+        for table in ("pins", "nets", "cells"):
+            conn.execute(f"DELETE FROM {table} WHERE design=?", (design,))
+        conn.execute("DELETE FROM designs WHERE id=?", (design,))
+
+    # -- load ----------------------------------------------------------
+
+    def load_array(self, key: str) -> ArrayNetlist:
+        """Load a design as a read-only array netlist in one pass."""
+        with self._connect() as conn:
+            drow = conn.execute(
+                "SELECT * FROM designs WHERE key=?", (key,)
+            ).fetchone()
+            if drow is None:
+                raise NetlistStoreError(f"no design {key!r} in {self.path}")
+            design = drow["id"]
+            cell_ids = array("q")
+            cell_names: list[str] = []
+            cell_kind = array("b")
+            cell_eq = array("q")
+            cell_output = array("q")
+            truth_tables: list[int | None] = []
+            fanin_ptr = array("q", [0])
+            total_inputs = 0
+            for row in conn.execute(
+                "SELECT cell_id, name, kind, num_inputs, output, truth_table,"
+                " eq_class FROM cells WHERE design=? ORDER BY ord",
+                (design,),
+            ):
+                cell_ids.append(row["cell_id"])
+                cell_names.append(row["name"])
+                cell_kind.append(row["kind"])
+                cell_eq.append(row["eq_class"])
+                output = row["output"]
+                cell_output.append(-1 if output is None else output)
+                truth_tables.append(_decode_tt(row["truth_table"]))
+                total_inputs += row["num_inputs"]
+                fanin_ptr.append(total_inputs)
+            cell_row = {cid: i for i, cid in enumerate(cell_ids)}
+            fanin_net = array("q", bytes(8 * total_inputs))
+            for i in range(total_inputs):
+                fanin_net[i] = -1
+            net_ids = array("q")
+            net_names: list[str] = []
+            net_driver = array("q")
+            net_row_of_ord: dict[int, int] = {}
+            for row in conn.execute(
+                "SELECT ord, net_id, name, driver FROM nets"
+                " WHERE design=? ORDER BY ord",
+                (design,),
+            ):
+                net_row_of_ord[row["ord"]] = len(net_ids)
+                net_ids.append(row["net_id"])
+                net_names.append(row["name"])
+                driver = row["driver"]
+                net_driver.append(-1 if driver is None else driver)
+            sink_counts = array("q", bytes(8 * len(net_ids)))
+            sink_cell = array("q")
+            sink_pin = array("q")
+            for row in conn.execute(
+                "SELECT net_ord, cell, pin FROM pins"
+                " WHERE design=? ORDER BY net_ord, ord",
+                (design,),
+            ):
+                net_row = net_row_of_ord[row["net_ord"]]
+                sink_counts[net_row] += 1
+                cell_id, pin = row["cell"], row["pin"]
+                sink_cell.append(cell_id)
+                sink_pin.append(pin)
+                fanin_net[fanin_ptr[cell_row[cell_id]] + pin] = net_ids[net_row]
+            sink_ptr = array("q", [0])
+            total = 0
+            for count in sink_counts:
+                total += count
+                sink_ptr.append(total)
+            extra_names = (
+                json.loads(drow["extra_names"]) if drow["extra_names"] else None
+            )
+        return ArrayNetlist(
+            name=drow["name"],
+            next_cell_id=drow["next_cell_id"],
+            next_net_id=drow["next_net_id"],
+            cell_ids=cell_ids,
+            cell_names=cell_names,
+            cell_kind=cell_kind,
+            cell_eq=cell_eq,
+            cell_output=cell_output,
+            fanin_ptr=fanin_ptr,
+            fanin_net=fanin_net,
+            truth_tables=truth_tables,
+            net_ids=net_ids,
+            net_names=net_names,
+            net_driver=net_driver,
+            sink_ptr=sink_ptr,
+            sink_cell=sink_cell,
+            sink_pin=sink_pin,
+            extra_names=extra_names,
+        )
+
+    def load_netlist(self, key: str) -> Netlist:
+        """Load a design as the exact mutable object netlist."""
+        return self.load_array(key).to_netlist()
+
+    def min_square_arch(self, key: str):
+        """The min-square FPGA for a design, from its stored counts alone."""
+        from repro.arch.fpga import FpgaArch
+
+        info = self.design_info(key)
+        return FpgaArch.min_square_for(
+            num_logic_blocks=info["luts"] + info["ffs"],
+            num_pads=info["pads"],
+            lut_size=info["lut_size"],
+        )
+
+    # -- placements ----------------------------------------------------
+
+    def save_placement(self, key: str, placement, design_key: str = "") -> None:
+        """Store a placement (with its arch) under ``key``, replacing any.
+
+        ``INSERT OR REPLACE`` keeps this retry-safe: a re-run of the same
+        campaign task overwrites its own previous row.
+        """
+        from repro.core.checkpoint import arch_to_dict, placement_to_dict
+
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO placements"
+                "(key, design_key, arch, data, created_at) VALUES(?,?,?,?,?)",
+                (
+                    key,
+                    design_key,
+                    json.dumps(arch_to_dict(placement.arch)),
+                    json.dumps(placement_to_dict(placement)),
+                    time.time(),
+                ),
+            )
+
+    def load_placement(self, key: str, arch=None):
+        """Load a placement; ``arch`` overrides the stored arch object."""
+        from repro.core.checkpoint import arch_from_dict, placement_from_dict
+
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT arch, data FROM placements WHERE key=?", (key,)
+            ).fetchone()
+        if row is None:
+            raise NetlistStoreError(f"no placement {key!r} in {self.path}")
+        if arch is None:
+            arch = arch_from_dict(json.loads(row["arch"]))
+        return placement_from_dict(json.loads(row["data"]), arch)
+
+    # -- streaming build -----------------------------------------------
+
+    def stream_builder(
+        self, key: str, name: str, lut_size: int = 4
+    ) -> "NetlistStreamBuilder":
+        """Begin a streaming build of design ``key`` (see class docs)."""
+        return NetlistStreamBuilder(self, key, name, lut_size)
+
+
+class _StreamHandle:
+    """What the stream builder's ``add_*`` return: just the id."""
+
+    __slots__ = ("cell_id",)
+
+    def __init__(self, cell_id: int) -> None:
+        self.cell_id = cell_id
+
+
+class NetlistStreamBuilder:
+    """Write a netlist into the store without building Python objects.
+
+    Implements the construction subset of the :class:`Netlist` interface
+    the suite generator uses — ``add_input`` / ``add_ff`` / ``add_lut`` /
+    ``add_output`` (returning handles exposing ``.cell_id``),
+    ``connect``, ``fanout_count`` and ``sweep_redundant`` — while keeping
+    only flat per-cell scalars in memory (kind, output net, per-pin
+    fanin, fanout count).  Cell/net/pin rows stream to SQLite in batches
+    inside **one** transaction; :meth:`finish` writes the design row and
+    commits, so a kill mid-build leaves no partial design.
+
+    Names must be unique as given (the generator's are by construction);
+    there is no ``_fresh_name`` dedup pass here, by design — tracking a
+    name set would reintroduce O(cells) string storage.  ``connect`` must
+    be the first and only connection of each (sink, pin), as in the
+    generator; there is no disconnect.
+
+    ``sweep_redundant`` replays the object netlist's algorithm verbatim
+    (same candidate order, same per-pin parent re-examination), issuing
+    targeted row deletes — so the stored design is row-for-row identical
+    to what ``save_design(generate_circuit(spec))`` would have written.
+    """
+
+    def __init__(
+        self, store: NetlistStore, key: str, name: str, lut_size: int
+    ) -> None:
+        self.store = store
+        self.key = key
+        self.name = name
+        self.lut_size = lut_size
+        self._stride = max(1, lut_size)
+        # Per-cell scalars (index = cell id; ids are dense 0..n-1).
+        self._kind = array("b")
+        self._num_inputs = array("b")
+        self._out_net = array("q")
+        self._fanout = array("q")
+        self._alive = bytearray()
+        self._fanin = array("q")  # stride slots per cell, -1 = unconnected
+        # Per-net scalars (index = net id == net creation order).
+        self._net_driver = array("q")
+        self._net_sinks = array("q")
+        self._cell_buf: list = []
+        self._net_buf: list = []
+        self._pin_buf: list = []
+        self._finished = False
+        self._conn = sqlite3.connect(store.path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("BEGIN")
+        NetlistStore._drop_design(self._conn, key)
+        cursor = self._conn.execute(
+            "INSERT INTO designs(key, name, next_cell_id, next_net_id,"
+            " lut_size, num_cells, num_nets, num_pins, num_luts, num_ffs,"
+            " num_pads, extra_names, created_at)"
+            " VALUES(?,?,0,0,?,0,0,0,0,0,0,NULL,?)",
+            (key, name, lut_size, time.time()),
+        )
+        self._design = cursor.lastrowid
+
+    # -- Netlist construction interface --------------------------------
+
+    def _add_cell(
+        self,
+        name: str,
+        kind: int,
+        num_inputs: int,
+        truth_table: int | None = None,
+        with_output: bool = True,
+    ) -> _StreamHandle:
+        cell_id = len(self._kind)
+        self._kind.append(kind)
+        self._num_inputs.append(num_inputs)
+        self._fanout.append(0)
+        self._alive.append(1)
+        self._fanin.extend([-1] * self._stride)
+        if with_output:
+            net_id = len(self._net_driver)
+            self._net_driver.append(cell_id)
+            self._net_sinks.append(0)
+            self._out_net.append(net_id)
+            self._net_buf.append((net_id, net_id, f"n_{name}", cell_id))
+        else:
+            self._out_net.append(-1)
+        self._cell_buf.append(
+            (
+                cell_id,
+                cell_id,
+                name,
+                kind,
+                num_inputs,
+                None if not with_output else self._out_net[cell_id],
+                _encode_tt(truth_table),
+                cell_id,  # eq_class defaults to the cell's own id
+            )
+        )
+        if len(self._cell_buf) >= _FLUSH_ROWS:
+            self._flush()
+        return _StreamHandle(cell_id)
+
+    def add_input(self, name: str) -> _StreamHandle:
+        return self._add_cell(name, KIND_CODE[KIND_ORDER[0]], 0)
+
+    def add_output(self, name: str) -> _StreamHandle:
+        return self._add_cell(name, _OUTPUT, 1, with_output=False)
+
+    def add_lut(
+        self, name: str, num_inputs: int, truth_table: int
+    ) -> _StreamHandle:
+        if num_inputs < 1:
+            raise NetlistError("a LUT needs at least one input")
+        if truth_table >> (1 << num_inputs):
+            raise NetlistError(
+                f"truth table 0x{truth_table:x} too wide for {num_inputs} inputs"
+            )
+        if num_inputs > self._stride:
+            raise NetlistError(
+                f"LUT fanin {num_inputs} exceeds builder lut_size {self._stride}"
+            )
+        return self._add_cell(name, KIND_CODE[KIND_ORDER[2]], num_inputs, truth_table)
+
+    def add_ff(self, name: str) -> _StreamHandle:
+        return self._add_cell(name, KIND_CODE[KIND_ORDER[3]], 1)
+
+    def connect(
+        self, driver: _StreamHandle | int, sink: _StreamHandle | int, pin: int
+    ) -> None:
+        driver_id = driver if isinstance(driver, int) else driver.cell_id
+        sink_id = sink if isinstance(sink, int) else sink.cell_id
+        net = self._out_net[driver_id]
+        if net < 0:
+            raise NetlistError(f"cell {driver_id} has no output net")
+        if not 0 <= pin < self._num_inputs[sink_id]:
+            raise NetlistError(f"cell {sink_id} has no pin {pin}")
+        slot = sink_id * self._stride + pin
+        if self._fanin[slot] >= 0:
+            raise NetlistError(f"pin {pin} of cell {sink_id} already connected")
+        self._fanin[slot] = net
+        self._pin_buf.append((net, self._net_sinks[net], sink_id, pin))
+        self._net_sinks[net] += 1
+        self._fanout[driver_id] += 1
+        if len(self._pin_buf) >= _FLUSH_ROWS:
+            self._flush()
+
+    def fanout_count(self, cell: _StreamHandle | int) -> int:
+        cell_id = cell if isinstance(cell, int) else cell.cell_id
+        return self._fanout[cell_id]
+
+    def sweep_redundant(self) -> list[int]:
+        """Same algorithm — same deletion order — as the object netlist."""
+        self._flush()
+        candidates = deque(
+            cid for cid in range(len(self._kind)) if self._alive[cid]
+        )
+        deleted: list[int] = []
+        conn = self._conn
+        while candidates:
+            cid = candidates.popleft()
+            if not self._alive[cid] or self._kind[cid] in (_INPUT, _OUTPUT):
+                continue
+            if self._fanout[cid] > 0:
+                continue
+            parents: list[int] = []
+            base = cid * self._stride
+            for pin in range(self._num_inputs[cid]):
+                net = self._fanin[base + pin]
+                if net >= 0:
+                    parent = self._net_driver[net]
+                    parents.append(parent)
+                    self._fanout[parent] -= 1
+                    self._net_sinks[net] -= 1
+            # This cell's input pin rows are the sink rows of its
+            # parents' nets; one delete detaches them all.
+            conn.execute(
+                "DELETE FROM pins WHERE design=? AND cell=?",
+                (self._design, cid),
+            )
+            out = self._out_net[cid]
+            if out >= 0:  # zero fanout: the net has no pin rows left
+                conn.execute(
+                    "DELETE FROM nets WHERE design=? AND net_id=?",
+                    (self._design, out),
+                )
+            conn.execute(
+                "DELETE FROM cells WHERE design=? AND cell_id=?",
+                (self._design, cid),
+            )
+            self._alive[cid] = 0
+            deleted.append(cid)
+            candidates.extend(parents)
+        return deleted
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._cell_buf:
+            self._conn.executemany(
+                "INSERT INTO cells(design, ord, cell_id, name, kind,"
+                " num_inputs, output, truth_table, eq_class)"
+                f" VALUES({self._design},?,?,?,?,?,?,?,?)",
+                self._cell_buf,
+            )
+            self._cell_buf.clear()
+        if self._net_buf:
+            self._conn.executemany(
+                "INSERT INTO nets(design, ord, net_id, name, driver)"
+                f" VALUES({self._design},?,?,?,?)",
+                self._net_buf,
+            )
+            self._net_buf.clear()
+        if self._pin_buf:
+            self._conn.executemany(
+                "INSERT INTO pins(design, net_ord, ord, cell, pin)"
+                f" VALUES({self._design},?,?,?,?)",
+                self._pin_buf,
+            )
+            self._pin_buf.clear()
+
+    def finish(self) -> dict:
+        """Write the design row's final counts and commit atomically."""
+        if self._finished:
+            raise NetlistStoreError("stream builder already finished")
+        self._flush()
+        kinds = [k for cid, k in enumerate(self._kind) if self._alive[cid]]
+        num_luts = sum(1 for k in kinds if k == KIND_CODE[KIND_ORDER[2]])
+        num_ffs = sum(1 for k in kinds if k == KIND_CODE[KIND_ORDER[3]])
+        num_pads = sum(1 for k in kinds if k in (_INPUT, _OUTPUT))
+        num_nets = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM nets WHERE design=?", (self._design,)
+        ).fetchone()["n"]
+        num_pins = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM pins WHERE design=?", (self._design,)
+        ).fetchone()["n"]
+        self._conn.execute(
+            "UPDATE designs SET next_cell_id=?, next_net_id=?, num_cells=?,"
+            " num_nets=?, num_pins=?, num_luts=?, num_ffs=?, num_pads=?"
+            " WHERE id=?",
+            (
+                len(self._kind),
+                len(self._net_driver),
+                len(kinds),
+                num_nets,
+                num_pins,
+                num_luts,
+                num_ffs,
+                num_pads,
+                self._design,
+            ),
+        )
+        self._conn.commit()
+        self._conn.close()
+        self._finished = True
+        return self.store.design_info(self.key)
+
+    def abort(self) -> None:
+        """Roll back everything written by this builder."""
+        if not self._finished:
+            self._conn.rollback()
+            self._conn.close()
+            self._finished = True
+
+    def __enter__(self) -> "NetlistStreamBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if not self._finished:
+                self.finish()
+        else:
+            self.abort()

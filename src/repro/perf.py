@@ -39,7 +39,7 @@ class PerfRegistry:
     registry itself never needs locking on the hot path.
     """
 
-    __slots__ = ("enabled", "tracer", "_counters", "_timers")
+    __slots__ = ("enabled", "tracer", "_counters", "_timers", "_maxes")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -49,6 +49,7 @@ class PerfRegistry:
         self.tracer = None
         self._counters: dict[str, int] = defaultdict(int)
         self._timers: dict[str, float] = defaultdict(float)
+        self._maxes: dict[str, float] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -61,6 +62,7 @@ class PerfRegistry:
     def reset(self) -> None:
         self._counters.clear()
         self._timers.clear()
+        self._maxes.clear()
 
     # -- recording -----------------------------------------------------
 
@@ -80,6 +82,25 @@ class PerfRegistry:
         """Fold timer totals aggregated elsewhere (a worker) in."""
         for name, seconds in times.items():
             self._timers[name] += seconds
+
+    def record_max(self, name: str, value: float) -> None:
+        """Keep the running maximum of a gauge (e.g. ``peak_rss_mb``).
+
+        Unlike counters, max gauges merge across workers by taking the
+        largest observation, which is what "peak RSS over the whole
+        campaign" means when every worker reports its own peak.
+        """
+        current = self._maxes.get(name)
+        if current is None or value > current:
+            self._maxes[name] = value
+
+    def merge_maxes(self, maxes: dict[str, float]) -> None:
+        """Fold max gauges observed elsewhere (a worker) into the registry."""
+        for name, value in maxes.items():
+            self.record_max(name, value)
+
+    def max_value(self, name: str) -> float | None:
+        return self._maxes.get(name)
 
     @contextmanager
     def timer(self, name: str):
@@ -112,6 +133,7 @@ class PerfRegistry:
         return {
             "counters": dict(sorted(self._counters.items())),
             "timers": {k: round(v, 6) for k, v in sorted(self._timers.items())},
+            "maxes": {k: round(v, 3) for k, v in sorted(self._maxes.items())},
         }
 
     def write_snapshot(self, path) -> None:
@@ -141,7 +163,29 @@ class PerfRegistry:
             width = max(len(k) for k in self._counters)
             for name, count in sorted(self._counters.items()):
                 lines.append(f"  {name:<{width}}  {count:>12}")
+        if self._maxes:
+            lines.append("perf maxes:")
+            width = max(len(k) for k in self._maxes)
+            for name, value in sorted(self._maxes.items()):
+                lines.append(f"  {name:<{width}}  {value:>12.3f}")
         return "\n".join(lines) if lines else "perf registry: no events recorded"
+
+
+def sample_peak_rss() -> float:
+    """This process's lifetime peak RSS in MB (children folded in).
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalize to
+    MB so the ``peak_rss_mb`` gauge means the same thing everywhere.
+    """
+    import resource
+    import sys
+
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    divisor = (1 << 20) if sys.platform == "darwin" else (1 << 10)
+    return round(peak / divisor, 3)
 
 
 #: The process-wide registry instrumentation points report into.

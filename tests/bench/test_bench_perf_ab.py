@@ -1,0 +1,76 @@
+"""Unit tests for the perf harness's paired A/B arithmetic.
+
+``scripts/bench_perf.py`` is not a package; load it by path and test
+:func:`paired_ab` (pure math) plus the ``--ab`` flag validation, without
+running any timed phases.
+"""
+
+import importlib.util
+import math
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_perf.py"
+
+
+def load_harness():
+    spec = importlib.util.spec_from_file_location("bench_perf", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return load_harness()
+
+
+class TestPairedAb:
+    def test_speedup_is_ratio_of_medians(self, harness):
+        base = {"wmin": [2.0, 4.0, 3.0]}
+        cand = {"wmin": [1.0, 2.0, 1.5]}
+        out = harness.paired_ab(base, cand)
+        assert out["wmin"]["base_median"] == 3.0
+        assert out["wmin"]["cand_median"] == 1.5
+        assert out["wmin"]["speedup"] == 2.0
+        assert out["wmin"]["paired_speedups"] == [2.0, 2.0, 2.0]
+
+    def test_pairs_align_by_repeat_index(self, harness):
+        # A drifting machine slows both arms of later pairs; the paired
+        # ratios stay flat even though raw samples double.
+        base = {"p": [1.0, 2.0, 4.0]}
+        cand = {"p": [0.5, 1.0, 2.0]}
+        out = harness.paired_ab(base, cand)
+        assert out["p"]["paired_speedups"] == [2.0, 2.0, 2.0]
+
+    def test_unequal_lengths_truncate_to_pairs(self, harness):
+        base = {"p": [2.0, 2.0, 99.0]}
+        cand = {"p": [1.0, 1.0]}
+        out = harness.paired_ab(base, cand)
+        assert out["p"]["base_median"] == 2.0
+        assert out["p"]["speedup"] == 2.0
+
+    def test_phase_missing_from_one_arm_is_skipped(self, harness):
+        out = harness.paired_ab({"a": [1.0], "b": [1.0]}, {"a": [1.0]})
+        assert sorted(out) == ["a"]
+
+    def test_zero_candidate_median_is_inf(self, harness):
+        out = harness.paired_ab({"p": [1.0]}, {"p": [0.0]})
+        assert out["p"]["speedup"] == math.inf
+
+    def test_ab_flag_table_matches_cli_choices(self, harness):
+        assert sorted(harness.AB_FLAGS) == [
+            "engine", "kernel", "route-search", "wmin-engine"
+        ]
+        for keyword, legal in harness.AB_FLAGS.values():
+            assert legal  # every flag has an explicit legal-value set
+
+    def test_bad_ab_flag_rejected(self, harness):
+        with pytest.raises(SystemExit):
+            harness.main(["--ab", "bogus=1", "--no-write"])
+        with pytest.raises(SystemExit):
+            harness.main(["--ab", "kernel=warp", "--no-write"])
+
+    def test_netlist_load_in_phase_registry(self, harness):
+        assert "netlist_load" in harness.PHASES

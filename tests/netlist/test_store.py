@@ -1,0 +1,263 @@
+"""The netlist store's acceptance bar: lossless, order-preserving.
+
+Three layers of guarantees, each tested directly:
+
+* **Exact round-trip** — object netlist -> store -> object netlist is
+  the identity under :func:`netlist_to_dict` (ids, names, pin order,
+  ``_names`` bookkeeping, truth tables — everything the checkpoint
+  format considers part of a netlist).
+* **Array parity** — the read-only :class:`ArrayNetlist` view iterates
+  cells/nets in the same order, reports the same fanin/fanout/counts
+  and the same ``combinational_order`` as the object it was built from.
+* **Streaming parity** — a suite circuit streamed through
+  :class:`NetlistStreamBuilder` (never materialized as objects) is
+  byte-for-byte the design built the classic way.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.suite import (
+    SUITE_SPECS,
+    stream_suite_circuit,
+    suite_circuit,
+)
+from repro.core.checkpoint import (
+    arch_to_dict,
+    netlist_to_dict,
+    placement_to_dict,
+)
+from repro.netlist import (
+    Netlist,
+    random_input_sequence,
+    simulate,
+    validate_netlist,
+)
+from repro.netlist.arrays import ArrayNetlist
+from repro.netlist.blif import read_blif, write_blif
+from repro.netlist.store import NetlistStore, NetlistStoreError, design_key
+
+
+def small_suite_netlist(name="tseng", scale=0.05):
+    netlist, arch = suite_circuit(name, scale=scale)
+    return netlist, arch
+
+
+def assert_array_parity(obj: Netlist, arr: ArrayNetlist) -> None:
+    """Every interface the flow consumes, compared key by key."""
+    assert list(arr.cells) == list(obj.cells)
+    assert list(arr.nets) == list(obj.nets)
+    assert arr.name == obj.name
+    assert arr.num_cells == obj.num_cells
+    assert arr.num_luts == obj.num_luts
+    assert arr.num_ffs == obj.num_ffs
+    assert arr.num_pads == obj.num_pads
+    assert arr.num_logic_blocks == obj.num_logic_blocks
+    for cid, cell in obj.cells.items():
+        acell = arr.cells[cid]
+        assert (acell.cell_id, acell.name, acell.ctype) == (
+            cell.cell_id, cell.name, cell.ctype
+        )
+        assert acell.inputs == cell.inputs
+        assert acell.output == cell.output
+        assert acell.truth_table == cell.truth_table
+        assert acell.eq_class == cell.eq_class
+        assert arr.fanin_cells(cid) == obj.fanin_cells(cid)
+        assert arr.fanout_count(cid) == obj.fanout_count(cid)
+        assert arr.fanout_pins(cid) == obj.fanout_pins(cid)
+    for nid, net in obj.nets.items():
+        anet = arr.nets[nid]
+        assert (anet.net_id, anet.name, anet.driver) == (
+            net.net_id, net.name, net.driver
+        )
+        assert anet.sinks == net.sinks
+    assert [c.name for c in arr.primary_inputs()] == [
+        c.name for c in obj.primary_inputs()
+    ]
+    assert [c.name for c in arr.primary_outputs()] == [
+        c.name for c in obj.primary_outputs()
+    ]
+    assert [c.name for c in arr.flip_flops()] == [
+        c.name for c in obj.flip_flops()
+    ]
+    assert arr.combinational_order() == obj.combinational_order()
+    validate_netlist(arr)
+
+
+class TestRoundTrip:
+    def test_suite_circuit_is_identity(self, tmp_path):
+        netlist, _arch = small_suite_netlist()
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("k", netlist)
+        assert netlist_to_dict(store.load_netlist("k")) == netlist_to_dict(
+            netlist
+        )
+
+    def test_array_view_parity(self, tmp_path):
+        netlist, _arch = small_suite_netlist()
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("k", netlist)
+        arr = store.load_array("k")
+        assert_array_parity(netlist, arr)
+        # to_netlist() off the array view is the same identity.
+        assert netlist_to_dict(arr.to_netlist()) == netlist_to_dict(netlist)
+
+    def test_blif_round_trip(self, tmp_path):
+        netlist, _arch = small_suite_netlist("ex5p", 0.04)
+        reread = read_blif(write_blif(netlist))
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("blif:ex5p", reread)
+        assert netlist_to_dict(store.load_netlist("blif:ex5p")) == (
+            netlist_to_dict(reread)
+        )
+
+    def test_netlist_with_deletions_round_trips(self, tmp_path):
+        """Sparse ids and orphaned ``_names`` entries survive the store."""
+        nl = Netlist("holes")
+        a, b = nl.add_input("a"), nl.add_input("b")
+        g = nl.add_lut("g", 2, 0b0110)
+        h = nl.add_lut("h", 2, 0b1000)
+        o = nl.add_output("o")
+        for pin, drv in enumerate((a, b)):
+            nl.connect(drv, g, pin)
+            nl.connect(drv, h, pin)
+        nl.connect(g, o, 0)
+        nl.delete_cell(h.cell_id)
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("holes", nl)
+        assert netlist_to_dict(store.load_netlist("holes")) == (
+            netlist_to_dict(nl)
+        )
+
+    def test_save_replaces_design(self, tmp_path):
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        first, _ = small_suite_netlist("tseng", 0.03)
+        second, _ = small_suite_netlist("ex5p", 0.03)
+        store.save_design("k", first)
+        store.save_design("k", second)
+        assert store.design_keys() == ["k"]
+        assert netlist_to_dict(store.load_netlist("k")) == netlist_to_dict(
+            second
+        )
+
+    def test_missing_design_raises(self, tmp_path):
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        with pytest.raises(NetlistStoreError):
+            store.load_array("nope")
+
+    def test_info_and_counts(self, tmp_path):
+        netlist, _arch = small_suite_netlist()
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("k", netlist, lut_size=4)
+        design = store.design_info("k")
+        assert design["cells"] == netlist.num_cells
+        assert design["nets"] == len(netlist.nets)
+        assert design["luts"] == netlist.num_luts
+        assert design["ffs"] == netlist.num_ffs
+        assert design["pads"] == netlist.num_pads
+        info = store.info()
+        assert info["schema_version"] == 1
+        assert info["size_bytes"] > 0
+        assert [d["key"] for d in info["designs"]] == ["k"]
+
+    def test_min_square_arch_matches_object_path(self, tmp_path):
+        netlist, arch = small_suite_netlist()
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("k", netlist)
+        assert arch_to_dict(store.min_square_arch("k")) == arch_to_dict(arch)
+
+
+class TestPlacementRoundTrip:
+    def test_identity(self, tmp_path):
+        from repro.place.initial import random_placement
+
+        netlist, arch = small_suite_netlist()
+        placement = random_placement(netlist, arch, seed=3)
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        store.save_design("k", netlist)
+        store.save_placement("p", placement, design_key="k")
+        loaded = store.load_placement("p")
+        assert placement_to_dict(loaded) == placement_to_dict(placement)
+        # arch travels with the placement row
+        assert arch_to_dict(loaded.arch) == arch_to_dict(arch)
+
+
+class TestStreaming:
+    def test_stream_equals_object_build(self, tmp_path):
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        stream_suite_circuit(store, "ex5p", scale=0.05)
+        streamed = store.load_netlist(design_key("ex5p", 0.05))
+        built, _arch = suite_circuit("ex5p", scale=0.05)
+        assert netlist_to_dict(streamed) == netlist_to_dict(built)
+
+    def test_abort_leaves_no_design(self, tmp_path):
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        try:
+            with store.stream_builder("k", "boom", 4) as builder:
+                builder.add_input("a")
+                raise RuntimeError("interrupted")
+        except RuntimeError:
+            pass
+        assert not store.has_design("k")
+
+    @pytest.mark.slow
+    def test_full_suite_streaming_parity(self, tmp_path):
+        """All 20 MCNC-calibrated circuits, streamed vs object-built."""
+        store = NetlistStore(tmp_path / "nl.sqlite")
+        for spec in SUITE_SPECS:
+            stream_suite_circuit(store, spec.name, scale=0.08)
+            streamed = store.load_netlist(design_key(spec.name, 0.08))
+            built, _arch = suite_circuit(spec.name, scale=0.08)
+            assert netlist_to_dict(streamed) == netlist_to_dict(built), (
+                spec.name
+            )
+
+
+# ----------------------------------------------------------------------
+# Property-based round-trip
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def netlists(draw):
+    """Random small netlists built through the public mutation API."""
+    nl = Netlist("prop")
+    drivers = [nl.add_input(f"i{i}") for i in range(draw(st.integers(1, 4)))]
+    for i in range(draw(st.integers(0, 5))):
+        k = draw(st.integers(1, 3))
+        table = draw(st.integers(0, (1 << (1 << k)) - 1))
+        lut = nl.add_lut(f"g{i}", k, table)
+        for pin in range(k):
+            nl.connect(drivers[draw(st.integers(0, len(drivers) - 1))],
+                       lut, pin)
+        drivers.append(lut)
+    for i in range(draw(st.integers(0, 2))):
+        ff = nl.add_ff(f"f{i}")
+        nl.connect(drivers[draw(st.integers(0, len(drivers) - 1))], ff, 0)
+        drivers.append(ff)
+    for i in range(draw(st.integers(1, 3))):
+        out = nl.add_output(f"o{i}")
+        nl.connect(drivers[draw(st.integers(0, len(drivers) - 1))], out, 0)
+    # Sometimes delete a fanout-free LUT, leaving id holes behind.
+    luts = [c for c in list(nl.cells.values())
+            if c.is_lut and nl.fanout_count(c.cell_id) == 0]
+    if luts and draw(st.booleans()):
+        nl.delete_cell(luts[0].cell_id)
+    return nl
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(nl=netlists())
+    def test_store_round_trip_preserves_everything(self, nl, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("store")
+        store = NetlistStore(tmp / "nl.sqlite")
+        store.save_design("k", nl)
+        arr = store.load_array("k")
+        back = arr.to_netlist()
+        assert netlist_to_dict(back) == netlist_to_dict(nl)
+        assert_array_parity(nl, arr)
+        # Simulation semantics survive the trip (pin order matters).
+        stimulus = random_input_sequence(nl, cycles=6, seed=1)
+        assert simulate(back, stimulus) == simulate(nl, stimulus)

@@ -1,0 +1,73 @@
+"""``--netlist-store`` is an execution knob, never a results knob.
+
+The same circuit run through ``repro run`` with and without a netlist
+store must produce a byte-identical ``result.json`` modulo wall-clock
+fields — the store round-trip preserves ids, names and iteration order,
+so placement, replication and routing see literally the same design.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CIRCUITS = ("tseng", "ex5p", "alu4")
+
+
+def run_flow(run_dir, circuit, store=None, route=False):
+    argv = [
+        "run",
+        "--circuit", circuit,
+        "--scale", "0.04",
+        "--effort", "0.2",
+        "--algorithm", "rt",
+        "--run-dir", str(run_dir),
+    ]
+    if route:
+        argv.append("--route")
+    if store is not None:
+        argv += ["--netlist-store", str(store)]
+    assert main(argv) == 0
+    payload = json.loads((run_dir / "result.json").read_text())
+    return payload
+
+
+def strip_volatile(payload: dict) -> dict:
+    payload.pop("seconds", None)
+    if "route" in payload:
+        payload["route"].pop("seconds", None)
+    return payload
+
+
+class TestResultParity:
+    @pytest.mark.parametrize("circuit", CIRCUITS)
+    def test_result_json_identical_with_and_without_store(
+        self, tmp_path, circuit, capsys
+    ):
+        route = circuit == "tseng"  # routing parity once is enough here
+        plain = run_flow(tmp_path / "plain", circuit, route=route)
+        stored = run_flow(
+            tmp_path / "stored", circuit,
+            store=tmp_path / "nl.sqlite", route=route,
+        )
+        assert strip_volatile(stored) == strip_volatile(plain)
+
+    def test_store_is_reused_on_second_run(self, tmp_path, capsys):
+        store = tmp_path / "nl.sqlite"
+        first = run_flow(tmp_path / "a", "tseng", store=store)
+        second = run_flow(tmp_path / "b", "tseng", store=store)
+        assert strip_volatile(first) == strip_volatile(second)
+
+    @pytest.mark.slow
+    def test_full_suite_parity_sweep(self, tmp_path, capsys):
+        """All 20 suite circuits, with and without the store."""
+        from repro.bench.suite import SUITE_SPECS
+
+        store = tmp_path / "nl.sqlite"
+        for spec in SUITE_SPECS:
+            plain = run_flow(tmp_path / f"{spec.name}-plain", spec.name)
+            stored = run_flow(
+                tmp_path / f"{spec.name}-stored", spec.name, store=store
+            )
+            assert strip_volatile(stored) == strip_volatile(plain), spec.name
