@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Load generator for the replication service (`repro serve`).
+
+Drives hundreds of concurrent job submissions through one
+:class:`repro.serve.ServeClient`, waits for the queue to drain, and
+reports latency percentiles:
+
+* ``submit``  — HTTP round-trip of the submission itself
+* ``e2e``     — submission to terminal state (queue wait + execution)
+* ``job``     — worker wall time as recorded by the daemon
+
+Usage (against a daemon started with ``python -m repro serve state/``)::
+
+    python scripts/loadgen.py --dir state/ --jobs 200 --threads 16 \
+        --report loadgen.json
+
+Each job is a tiny ``place`` run with a distinct seed, so every
+submission is fresh work (no cache hits) unless ``--duplicates`` asks
+for deliberate cache/coalescing traffic on top.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+
+def percentiles(samples: list[float]) -> dict[str, float]:
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    def at(fraction: float) -> float:
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return round(ordered[index], 4)
+    return {
+        "n": len(ordered),
+        "min": round(ordered[0], 4),
+        "p50": at(0.50),
+        "p90": at(0.90),
+        "p99": at(0.99),
+        "max": round(ordered[-1], 4),
+    }
+
+
+def build_client(args) -> ServeClient:
+    if args.server:
+        host, _, port = args.server.rpartition(":")
+        return ServeClient(host, int(port), timeout=args.timeout)
+    return ServeClient.from_dir(args.dir, timeout=args.timeout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    where = parser.add_mutually_exclusive_group(required=True)
+    where.add_argument("--server", metavar="HOST:PORT")
+    where.add_argument("--dir", type=Path, help="daemon state directory")
+    parser.add_argument("--jobs", type=int, default=200,
+                        help="number of distinct jobs to submit")
+    parser.add_argument("--threads", type=int, default=16,
+                        help="concurrent submitter threads")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="circuit scale per job (keep tiny)")
+    parser.add_argument("--place-effort", type=float, default=0.05,
+                        dest="place_effort")
+    parser.add_argument("--circuit", default="tseng")
+    parser.add_argument("--seed-base", type=int, default=0, dest="seed_base",
+                        help="seeds run seed_base..seed_base+jobs-1")
+    parser.add_argument("--duplicates", type=int, default=0,
+                        help="extra identical submissions (cache traffic)")
+    parser.add_argument("--client", default="loadgen")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request HTTP timeout")
+    parser.add_argument("--drain-timeout", type=float, default=600.0,
+                        dest="drain_timeout",
+                        help="give up waiting for the queue after S seconds")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write the full latency report JSON here")
+    args = parser.parse_args(argv)
+
+    client = build_client(args)
+    if not client.health():
+        print(f"loadgen: no healthy daemon at "
+              f"{client.host}:{client.port}", file=sys.stderr)
+        return 1
+
+    def submit(seed: int) -> tuple[str, float, float]:
+        config = {
+            "circuit": args.circuit,
+            "scale": args.scale,
+            "place_effort": args.place_effort,
+            "seed": seed,
+        }
+        started = time.monotonic()
+        ack = client.submit("place", config, client=args.client)
+        return ack["job_id"], started, time.monotonic() - started
+
+    seeds = list(range(args.seed_base, args.seed_base + args.jobs))
+    seeds += [args.seed_base] * args.duplicates
+    wall_start = time.monotonic()
+    with ThreadPoolExecutor(max_workers=args.threads) as pool:
+        acks = list(pool.map(submit, seeds))
+    submit_seconds = [latency for _, _, latency in acks]
+    print(f"submitted {len(acks)} job(s) in "
+          f"{time.monotonic() - wall_start:.1f}s")
+
+    pending = {job_id: started for job_id, started, _ in acks}
+    e2e_seconds: list[float] = []
+    failed: list[str] = []
+    deadline = time.monotonic() + args.drain_timeout
+    while pending and time.monotonic() < deadline:
+        for job_id in list(pending):
+            job = client.job(job_id)
+            if job["status"] in ("done", "failed", "cancelled"):
+                e2e_seconds.append(time.monotonic() - pending.pop(job_id))
+                if job["status"] != "done":
+                    failed.append(job_id)
+        time.sleep(0.2)
+    if pending:
+        print(f"loadgen: {len(pending)} job(s) still unfinished after "
+              f"{args.drain_timeout:g}s", file=sys.stderr)
+        return 1
+
+    job_ids = sorted({job_id for job_id, _, _ in acks})
+    job_seconds = [client.job(job_id)["seconds"] for job_id in job_ids]
+    report = {
+        "jobs": args.jobs,
+        "duplicates": args.duplicates,
+        "threads": args.threads,
+        "distinct_job_ids": len(job_ids),
+        "failed": failed,
+        "wall_seconds": round(time.monotonic() - wall_start, 3),
+        "latency": {
+            "submit": percentiles(submit_seconds),
+            "e2e": percentiles(e2e_seconds),
+            "job": percentiles(job_seconds),
+        },
+        "daemon_status": client.status(),
+    }
+    for name, stats in report["latency"].items():
+        print(f"{name:>7}: p50 {stats['p50']:.3f}s  p90 {stats['p90']:.3f}s "
+              f"p99 {stats['p99']:.3f}s  max {stats['max']:.3f}s")
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.report}")
+    if failed:
+        print(f"loadgen: {len(failed)} job(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,12 +79,26 @@ class CampaignStoreError(Exception):
 
 
 class CampaignStore:
-    """Facade over one campaign's SQLite database (per-op connections)."""
+    """Facade over one campaign's SQLite database (per-op connections).
+
+    Subclasses may extend the database with additional tables by
+    overriding :attr:`SCHEMA_EXTENSIONS` (the serve daemon's job queue
+    does this — same file-per-directory idiom, same durability rules)
+    and :attr:`FILENAME` to live under a different default name.
+    """
+
+    #: Default database filename used by :meth:`in_dir`/:meth:`open_existing`.
+    FILENAME = STORE_FILE
+
+    #: Extra ``executescript`` blocks applied after the base schema.
+    SCHEMA_EXTENSIONS: tuple[str, ...] = ()
 
     def __init__(self, path: str | Path) -> None:
         self.path = ensure_parent_dir(path)
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
+            for extension in self.SCHEMA_EXTENSIONS:
+                conn.executescript(extension)
         self._import_legacy_wmin()
 
     @contextmanager
@@ -104,12 +118,12 @@ class CampaignStore:
     @classmethod
     def in_dir(cls, campaign_dir: str | Path) -> "CampaignStore":
         """Open (creating if needed) the store of a campaign directory."""
-        return cls(Path(campaign_dir) / STORE_FILE)
+        return cls(Path(campaign_dir) / cls.FILENAME)
 
     @classmethod
     def open_existing(cls, campaign_dir: str | Path) -> "CampaignStore":
         """Open the store of an existing campaign; error when absent."""
-        path = Path(campaign_dir) / STORE_FILE
+        path = Path(campaign_dir) / cls.FILENAME
         if not path.exists():
             raise CampaignStoreError(f"no campaign store at {path}")
         return cls(path)

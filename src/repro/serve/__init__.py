@@ -1,0 +1,37 @@
+"""Replication-as-a-service: durable job queue + HTTP daemon + client.
+
+``repro serve`` wraps the flow (:mod:`repro.api`) and the campaign
+engine in a long-lived daemon: multi-tenant job submission over HTTP, a
+SIGKILL-safe SQLite queue (the campaign store idiom), per-job streaming
+progress from the flow journal, and a result cache keyed by the
+canonical config hash.  See :mod:`repro.serve.daemon` for the endpoint
+table and the durability contract.
+"""
+
+from repro.serve.client import JobFailed, ServeClient, ServeError
+from repro.serve.daemon import DISCOVERY_FILE, JOBS_DIR, ServeDaemon
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JobError,
+    execute_job,
+    job_hash,
+    normalize_config,
+)
+from repro.serve.store import JOB_STATUSES, JobStore, job_to_dict
+
+__all__ = [
+    "DISCOVERY_FILE",
+    "JOBS_DIR",
+    "JOB_KINDS",
+    "JOB_STATUSES",
+    "JobError",
+    "JobFailed",
+    "JobStore",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "execute_job",
+    "job_hash",
+    "job_to_dict",
+    "normalize_config",
+]

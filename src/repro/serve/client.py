@@ -1,0 +1,216 @@
+"""Thin stdlib client for the replication service.
+
+One class, no dependencies beyond :mod:`http.client`: each call opens a
+fresh connection (the daemon closes after every response anyway), so a
+:class:`ServeClient` is safe to share across threads — the load
+generator drives hundreds of concurrent submissions through one.
+
+    client = ServeClient.from_dir("state/")   # reads serve.json
+    ack = client.submit("place", {"circuit": "tseng", "scale": 0.05})
+    job = client.wait(ack["job_id"], timeout=60)
+    print(client.result_json(job["job_id"]))
+    for event in client.events(job["job_id"]):
+        ...                                   # live journal stream
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from pathlib import Path
+
+from repro.serve.daemon import DISCOVERY_FILE
+
+#: Job states with no further transitions (mirrors the daemon).
+TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServeError(Exception):
+    """HTTP-level error from the service (4xx/5xx responses)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class JobFailed(ServeError):
+    """Raised by :meth:`ServeClient.wait` when the job ends failed."""
+
+    def __init__(self, job: dict) -> None:
+        error = (job.get("error") or "").strip().splitlines()
+        last = error[-1] if error else "no error recorded"
+        Exception.__init__(
+            self, f"job {job['job_id']} {job['status']}: {last}"
+        )
+        self.status = 0
+        self.message = last
+        self.job = job
+
+
+class ServeClient:
+    """Synchronous client bound to one daemon address."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_dir(cls, state_dir: str | Path, **kwargs) -> "ServeClient":
+        """Connect to the daemon serving ``state_dir`` (via serve.json)."""
+        path = Path(state_dir) / DISCOVERY_FILE
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ServeError(
+                0, f"no {DISCOVERY_FILE} in {state_dir} — daemon not started?"
+            ) from None
+        return cls(payload["host"], payload["port"], **kwargs)
+
+    # -- raw request ---------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        return response.status, data
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, data = self._request(method, path, body)
+        try:
+            payload = json.loads(data.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": data[:200].decode(errors="replace")}
+        if status >= 400:
+            raise ServeError(status, payload.get("error", "request failed"))
+        return payload
+
+    # -- API surface ---------------------------------------------------
+
+    def health(self) -> bool:
+        try:
+            return bool(self._json("GET", "/healthz").get("ok"))
+        except (OSError, ServeError):
+            return False
+
+    def status(self) -> dict:
+        return self._json("GET", "/v1/status")
+
+    def submit(
+        self,
+        kind: str,
+        config: dict | None = None,
+        *,
+        client: str = "anon",
+        cache: bool = True,
+    ) -> dict:
+        """Submit a job; returns the ack (``job_id``/``status``/``cached``)."""
+        return self._json("POST", "/v1/jobs", {
+            "kind": kind,
+            "config": config or {},
+            "client": client,
+            "cache": cache,
+        })
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(
+        self,
+        *,
+        client: str | None = None,
+        status: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        params = {}
+        if client is not None:
+            params["client"] = client
+        if status is not None:
+            params["status"] = status
+        if limit is not None:
+            params["limit"] = str(limit)
+        path = "/v1/jobs"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return self._json("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def result(self, job_id: str) -> bytes:
+        """The job's ``result.json`` text, byte-exact as stored."""
+        status, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status >= 400:
+            try:
+                message = json.loads(data.decode()).get("error", "no result")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                message = "no result"
+            raise ServeError(status, message)
+        return data
+
+    def result_json(self, job_id: str) -> dict:
+        return json.loads(self.result(job_id).decode())
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float | None = None,
+        poll_interval: float = 0.1,
+        raise_on_failure: bool = True,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns its row."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in TERMINAL:
+                if raise_on_failure and job["status"] != "done":
+                    raise JobFailed(job)
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def events(self, job_id: str):
+        """Generator over the job's live journal stream (NDJSON lines).
+
+        Yields dict entries as the daemon streams them; ends when the
+        job's journal reaches its ``result``/``crash`` entry (or the
+        daemon closes the stream on a terminal job with a final
+        ``{"kind": "status", ...}`` line).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data.decode()).get("error", "")
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    message = ""
+                raise ServeError(response.status, message or "stream failed")
+            for raw in response:
+                line = raw.decode().strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

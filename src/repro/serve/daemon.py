@@ -1,0 +1,596 @@
+"""The replication service daemon: asyncio HTTP front + process pool.
+
+``repro serve`` turns the flow into a long-lived, multi-tenant service:
+clients submit place/optimize/route/campaign jobs over HTTP, the daemon
+queues them in the durable :class:`~repro.serve.store.JobStore`
+(``serve.sqlite``), executes them on forked worker processes (one
+process per job attempt, the campaign scheduler's isolation model), and
+streams per-iteration progress from each job's JSONL journal.
+
+Endpoints (all JSON; one request per connection):
+
+==========================================  ==================================
+``GET  /healthz``                           liveness probe
+``GET  /v1/status``                         queue counts + ``serve.*`` metrics
+``POST /v1/jobs``                           submit ``{kind, config, client?,
+                                            cache?}``
+``GET  /v1/jobs``                           list (``?client=&status=&limit=``)
+``GET  /v1/jobs/<id>``                      one job's full status row
+``GET  /v1/jobs/<id>/result``               the stored ``result.json`` text
+``POST /v1/jobs/<id>/cancel``               cancel pending/running
+``GET  /v1/jobs/<id>/events``               live NDJSON journal stream
+==========================================  ==================================
+
+Durability: a submission is committed to SQLite before its HTTP ack, and
+only this (parent) process ever writes the store — workers report over a
+pipe.  ``kill -9`` at any instant therefore loses nothing: on restart,
+``running`` rows are handed back to the queue and re-executed, and ids
+are primary keys so no job can complete twice.
+
+Result cache: submissions are keyed by the canonical config hash
+(:func:`repro.serve.jobs.job_hash`).  A hash that already has a ``done``
+job is answered with that job id immediately (``cached: true``) and its
+``/result`` serves the stored text — byte-identical to the fresh run
+that populated it.  A hash that is still in flight coalesces onto the
+running job (``coalesced: true``) instead of duplicating work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.journal import JournalTail
+from repro.perf import PERF
+from repro.serve.jobs import (
+    JOURNAL_FILE,
+    JobError,
+    canonical_text,
+    job_hash,
+    job_worker_main,
+    normalize_config,
+)
+from repro.serve.store import JobStore, job_to_dict, new_job_id
+
+#: Discovery file written next to the store once the socket is bound.
+DISCOVERY_FILE = "serve.json"
+
+#: Subdirectory of the state dir holding per-job run directories.
+JOBS_DIR = "jobs"
+
+#: Terminal job states (no further transitions).
+TERMINAL = ("done", "failed", "cancelled")
+
+_MAX_BODY = 10 << 20
+
+
+@dataclass
+class _JobHandle:
+    """Bookkeeping for one in-flight worker process."""
+
+    job_id: str
+    process: object
+    conn: object
+    attempt: int
+    started: float
+    deadline: float | None
+
+
+class ServeDaemon:
+    """One service instance over one state directory.
+
+    Args:
+        state_dir: Directory holding ``serve.sqlite``, ``serve.json``
+            and the per-job run directories (``jobs/<job_id>/``).
+        host/port: Bind address; port 0 picks an ephemeral port (the
+            bound port lands in ``serve.json`` and :attr:`port`).
+        workers: Maximum concurrent worker processes.
+        retries: Re-runs after a job's first failed attempt.
+        job_timeout: Kill a worker after this many seconds (None = off).
+        cache: Serve identical submissions from the result cache
+            (per-submission ``cache: false`` still forces a fresh run).
+        echo: Progress-line sink (e.g. ``print``); None = silent.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        retries: int = 0,
+        job_timeout: float | None = None,
+        cache: bool = True,
+        echo=None,
+        mp_context=None,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.host = host
+        self.port = port
+        self.workers = max(1, workers)
+        self.retries = max(0, retries)
+        self.job_timeout = job_timeout
+        self.cache = cache
+        self.echo = echo or (lambda message: None)
+        self.store = JobStore.in_dir(self.state_dir)
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._running: dict[str, _JobHandle] = {}
+        self._stop_event: asyncio.Event | None = None
+        self._started_at = time.time()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def run(self, *, install_signal_handlers: bool = True) -> None:
+        """Run the daemon until :meth:`stop` (or SIGTERM/SIGINT)."""
+        asyncio.run(self._run_async(install_signal_handlers))
+
+    def start_background(self) -> None:
+        """Run the daemon on a background thread; returns once bound."""
+        self._thread = threading.Thread(
+            target=self.run, kwargs={"install_signal_handlers": False},
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(10.0):
+            raise RuntimeError("serve daemon did not come up within 10s")
+
+    def stop(self) -> None:
+        """Request a graceful shutdown (thread-safe)."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    async def _run_async(self, install_signal_handlers: bool) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        signum, self._stop_event.set
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass
+        perf_was_enabled = PERF.enabled
+        PERF.enable()
+        orphaned = self.store.reset_orphaned()
+        if orphaned:
+            self.echo(f"serve: requeued {orphaned} orphaned job(s)")
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._write_discovery()
+        self.echo(
+            f"serve: listening on http://{self.host}:{self.port} "
+            f"({self.workers} worker(s), state in {self.state_dir})"
+        )
+        scheduler = asyncio.create_task(self._scheduler_loop())
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            scheduler.cancel()
+            try:
+                await scheduler
+            except asyncio.CancelledError:
+                pass
+            self._shutdown_workers()
+            if not perf_was_enabled:
+                # don't leak an enabled registry into embedding hosts
+                # (tests, notebooks); counters survive a disable
+                PERF.disable()
+            self.echo("serve: shut down")
+
+    def _write_discovery(self) -> None:
+        payload = {
+            "host": self.host,
+            "port": self.port,
+            "pid": os.getpid(),
+            "started_at": self._started_at,
+        }
+        path = self.state_dir / DISCOVERY_FILE
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def _shutdown_workers(self) -> None:
+        """Graceful-exit path: kill workers, requeue their jobs."""
+        for handle in list(self._running.values()):
+            handle.process.kill()
+            handle.process.join()
+            self._close(handle)
+            self.store.mark_job_pending(handle.job_id, error="interrupted")
+
+    # -- scheduler -----------------------------------------------------
+
+    async def _scheduler_loop(self) -> None:
+        while True:
+            self._launch_ready()
+            self._poll_workers()
+            await asyncio.sleep(0.02)
+
+    def _launch_ready(self) -> None:
+        free = self.workers - len(self._running)
+        if free <= 0:
+            return
+        for row in self.store.next_pending(limit=free):
+            job_id = row["job_id"]
+            if job_id in self._running:
+                continue
+            self.store.mark_job_running(job_id)
+            payload = {
+                "job_id": job_id,
+                "kind": row["kind"],
+                "config": json.loads(row["config"]),
+                "run_dir": row["run_dir"],
+            }
+            parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+            # daemon=False: campaign jobs fork their own workers, which
+            # a daemonic process is not allowed to do.
+            process = self._ctx.Process(
+                target=job_worker_main, args=(child_conn, payload),
+                daemon=False,
+            )
+            process.start()
+            child_conn.close()
+            now = time.monotonic()
+            self._running[job_id] = _JobHandle(
+                job_id=job_id,
+                process=process,
+                conn=parent_conn,
+                attempt=row["attempts"] + 1,
+                started=now,
+                deadline=(
+                    now + self.job_timeout if self.job_timeout else None
+                ),
+            )
+            self.echo(f"run     {job_id} (attempt {row['attempts'] + 1})")
+
+    def _poll_workers(self) -> None:
+        now = time.monotonic()
+        for handle in list(self._running.values()):
+            if handle.conn.poll(0):
+                self._reap(handle)
+            elif handle.deadline is not None and now > handle.deadline:
+                handle.process.kill()
+                handle.process.join()
+                self._close(handle)
+                self._record_failure(
+                    handle,
+                    f"job timed out after {self.job_timeout:g}s "
+                    f"(worker killed)",
+                )
+            elif not handle.process.is_alive():
+                self._reap(handle)
+
+    def _reap(self, handle: _JobHandle) -> None:
+        try:
+            kind, payload = handle.conn.recv()
+        except (EOFError, OSError):
+            handle.process.join()
+            kind, payload = "error", (
+                f"worker exited with code {handle.process.exitcode} "
+                f"before reporting a result"
+            )
+        handle.process.join()
+        self._close(handle)
+        seconds = time.monotonic() - handle.started
+        if kind == "ok":
+            self.store.finish_job(handle.job_id, payload, seconds)
+            PERF.add("serve.jobs_done")
+            PERF.add_time("serve.job_seconds", seconds)
+            self.echo(f"done    {handle.job_id} ({seconds:.1f}s)")
+        else:
+            self._record_failure(handle, payload, seconds)
+
+    def _record_failure(
+        self, handle: _JobHandle, error: str, seconds: float | None = None
+    ) -> None:
+        if seconds is None:
+            seconds = time.monotonic() - handle.started
+        if handle.attempt <= self.retries:
+            self.store.mark_job_pending(handle.job_id, error=error)
+            self.echo(
+                f"retry   {handle.job_id} (attempt {handle.attempt} failed)"
+            )
+        else:
+            self.store.fail_job(handle.job_id, error, seconds)
+            PERF.add("serve.jobs_failed")
+            self.echo(
+                f"failed  {handle.job_id} after {handle.attempt} attempt(s)"
+            )
+
+    def _close(self, handle: _JobHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self._running.pop(handle.job_id, None)
+
+    # -- HTTP front ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, params, body = request
+            await self._dispatch(writer, method, path, params, body)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except Exception as exc:  # never take the daemon down on a request
+            try:
+                self._send_json(writer, 500, {"error": repr(exc)})
+            except (ConnectionResetError, OSError):
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        path, _, query = target.partition("?")
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(query).items()
+        }
+        return method, path, params, body
+
+    async def _dispatch(self, writer, method, path, params, body) -> None:
+        parts = [part for part in path.split("/") if part]
+        if path == "/healthz" and method == "GET":
+            self._send_json(writer, 200, {"ok": True})
+        elif path == "/v1/status" and method == "GET":
+            self._send_json(writer, 200, self._status_payload())
+        elif path == "/v1/jobs" and method == "POST":
+            code, payload = self._submit(body)
+            self._send_json(writer, code, payload)
+        elif path == "/v1/jobs" and method == "GET":
+            limit = int(params["limit"]) if "limit" in params else None
+            rows = self.store.job_rows(
+                client=params.get("client"),
+                status=params.get("status"),
+                limit=limit,
+            )
+            self._send_json(
+                writer, 200, {"jobs": [job_to_dict(row) for row in rows]}
+            )
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"] and method == "GET":
+            row = self.store.job(parts[2])
+            if row is None:
+                self._send_json(writer, 404, {"error": f"no job {parts[2]}"})
+            else:
+                self._send_json(writer, 200, job_to_dict(row))
+        elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+              and parts[3] == "result" and method == "GET"):
+            self._send_result(writer, parts[2])
+        elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+              and parts[3] == "cancel" and method == "POST"):
+            code, payload = self._cancel(parts[2])
+            self._send_json(writer, code, payload)
+        elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+              and parts[3] == "events" and method == "GET"):
+            await self._stream_events(writer, parts[2])
+        else:
+            self._send_json(
+                writer, 404, {"error": f"no route {method} {path}"}
+            )
+
+    # -- handlers ------------------------------------------------------
+
+    def _submit(self, body: bytes) -> tuple[int, dict]:
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"bad JSON body: {exc}"}
+        if not isinstance(request, dict):
+            return 400, {"error": "body must be a JSON object"}
+        kind = request.get("kind", "optimize")
+        client = str(request.get("client") or "anon")
+        use_cache = self.cache and bool(request.get("cache", True))
+        try:
+            config = normalize_config(kind, request.get("config"))
+        except JobError as exc:
+            return 400, {"error": str(exc)}
+        config_hash = job_hash(kind, config)
+        PERF.add("serve.jobs_submitted")
+        if use_cache:
+            row = self.store.find_cached(config_hash)
+            if row is not None:
+                PERF.add("serve.cache_hits")
+                return 200, {
+                    "job_id": row["job_id"],
+                    "status": "done",
+                    "cached": True,
+                    "config_hash": config_hash,
+                }
+            row = self.store.find_active(config_hash)
+            if row is not None:
+                PERF.add("serve.coalesced")
+                return 200, {
+                    "job_id": row["job_id"],
+                    "status": row["status"],
+                    "coalesced": True,
+                    "config_hash": config_hash,
+                }
+        job_id = new_job_id(kind)
+        run_dir = self.state_dir / JOBS_DIR / job_id
+        self.store.submit_job(
+            job_id,
+            client=client,
+            kind=kind,
+            config_text=canonical_text(config),
+            config_hash=config_hash,
+            run_dir=str(run_dir),
+        )
+        PERF.record_max(
+            "serve.queue_depth", self.store.job_counts()["pending"]
+        )
+        self.echo(f"queued  {job_id} (client {client})")
+        return 201, {
+            "job_id": job_id,
+            "status": "pending",
+            "cached": False,
+            "config_hash": config_hash,
+        }
+
+    def _cancel(self, job_id: str) -> tuple[int, dict]:
+        row = self.store.job(job_id)
+        if row is None:
+            return 404, {"error": f"no job {job_id}"}
+        if row["status"] in TERMINAL:
+            return 409, {
+                "error": f"job {job_id} already {row['status']}",
+                "status": row["status"],
+            }
+        handle = self._running.pop(job_id, None)
+        if handle is not None:
+            handle.process.kill()
+            handle.process.join()
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.store.cancel_job(job_id)
+        PERF.add("serve.jobs_cancelled")
+        self.echo(f"cancel  {job_id}")
+        return 200, {"job_id": job_id, "status": "cancelled"}
+
+    def _send_result(self, writer, job_id: str) -> None:
+        row = self.store.job(job_id)
+        if row is None:
+            self._send_json(writer, 404, {"error": f"no job {job_id}"})
+        elif row["status"] != "done" or row["result"] is None:
+            self._send_json(writer, 404, {
+                "error": f"job {job_id} has no result "
+                         f"(status {row['status']})",
+                "status": row["status"],
+            })
+        else:
+            # The stored text verbatim: byte-identical to the run that
+            # produced it, cache hit or not.
+            self._send_raw(
+                writer, 200, row["result"].encode(), "application/json"
+            )
+
+    def _status_payload(self) -> dict:
+        snapshot = PERF.snapshot()
+        serve = {
+            section: {
+                name: value
+                for name, value in snapshot[section].items()
+                if name.startswith("serve.")
+            }
+            for section in ("counters", "timers", "maxes")
+        }
+        return {
+            "ok": True,
+            "state_dir": str(self.state_dir),
+            "workers": self.workers,
+            "uptime_seconds": round(time.time() - self._started_at, 1),
+            "jobs": self.store.job_counts(),
+            "running": sorted(self._running),
+            "perf": serve,
+        }
+
+    async def _stream_events(self, writer, job_id: str) -> None:
+        row = self.store.job(job_id)
+        if row is None:
+            self._send_json(writer, 404, {"error": f"no job {job_id}"})
+            return
+        self._send_headers(
+            writer, 200, "application/x-ndjson", length=None
+        )
+        tail = JournalTail(Path(row["run_dir"]) / JOURNAL_FILE)
+        idle_rounds = 0
+        while True:
+            entries = tail.poll()
+            for entry in entries:
+                writer.write((json.dumps(entry) + "\n").encode())
+            if entries:
+                idle_rounds = 0
+                await writer.drain()
+            if tail.finished:
+                return
+            status = self.store.job(job_id)["status"]
+            if status in TERMINAL:
+                # Journal will not grow any further (failed before a
+                # crash marker, or cancelled): emit a final status line.
+                idle_rounds += 1
+                if idle_rounds >= 2:
+                    writer.write((json.dumps(
+                        {"kind": "status", "status": status}
+                    ) + "\n").encode())
+                    await writer.drain()
+                    return
+            await asyncio.sleep(0.05)
+
+    # -- response plumbing ---------------------------------------------
+
+    _REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+                404: "Not Found", 409: "Conflict",
+                500: "Internal Server Error"}
+
+    def _send_headers(self, writer, code: int, content_type: str,
+                      length: int | None) -> None:
+        reason = self._REASONS.get(code, "OK")
+        head = [
+            f"HTTP/1.1 {code} {reason}",
+            f"Content-Type: {content_type}",
+            "Connection: close",
+        ]
+        if length is not None:
+            head.append(f"Content-Length: {length}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+
+    def _send_raw(self, writer, code: int, payload: bytes,
+                  content_type: str) -> None:
+        self._send_headers(writer, code, content_type, len(payload))
+        writer.write(payload)
+
+    def _send_json(self, writer, code: int, obj) -> None:
+        self._send_raw(
+            writer, code, (json.dumps(obj) + "\n").encode(),
+            "application/json",
+        )

@@ -1,0 +1,236 @@
+"""Durable job queue of the replication service (``serve.sqlite``).
+
+The serve daemon extends the campaign engine's SIGKILL-safe store idiom
+(:class:`repro.campaign.store.CampaignStore`: WAL mode, per-operation
+connections, parent-only writes) with a ``jobs`` table — the
+multi-tenant submission queue.  One row per submitted job carries the
+client token, the job kind, the canonical config JSON and its hash, the
+full lifecycle timestamps, and — once done — the *exact text* of the
+job's ``result.json``, which is what the result-cache serves back for an
+identical resubmission (byte-identical by construction).
+
+Durability contract, inherited from the campaign store:
+
+* a job is in the table (committed) before its submission is
+  acknowledged over HTTP, so an acknowledged job survives any crash;
+* only the daemon's parent process writes rows — a ``kill -9`` leaves
+  at worst ``running`` rows, which :meth:`JobStore.reset_orphaned`
+  hands back to the queue on restart;
+* job ids are primary keys, so a job can never be recorded twice.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+
+from repro.campaign.store import CampaignStore
+
+SERVE_STORE_FILE = "serve.sqlite"
+
+#: Job lifecycle states.  ``pending -> running -> done|failed``;
+#: ``cancelled`` can be entered from ``pending`` or ``running``.
+JOB_STATUSES = ("pending", "running", "done", "failed", "cancelled")
+
+#: States a job can still make progress from (coalescing targets).
+ACTIVE_STATUSES = ("pending", "running")
+
+_JOBS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    client       TEXT NOT NULL DEFAULT 'anon',
+    kind         TEXT NOT NULL,
+    config       TEXT NOT NULL,
+    config_hash  TEXT NOT NULL,
+    status       TEXT NOT NULL DEFAULT 'pending',
+    cached_from  TEXT,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    seconds      REAL NOT NULL DEFAULT 0.0,
+    error        TEXT,
+    result       TEXT,
+    run_dir      TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs(status);
+CREATE INDEX IF NOT EXISTS jobs_hash ON jobs(config_hash, status);
+CREATE INDEX IF NOT EXISTS jobs_client ON jobs(client);
+"""
+
+
+def new_job_id(kind: str) -> str:
+    """Fresh unique job id, prefixed with the kind for readability."""
+    return f"{kind}-{uuid.uuid4().hex[:12]}"
+
+
+class JobStore(CampaignStore):
+    """Campaign store plus the serve daemon's ``jobs`` queue table."""
+
+    FILENAME = SERVE_STORE_FILE
+    SCHEMA_EXTENSIONS = (_JOBS_SCHEMA,)
+
+    # -- submission ----------------------------------------------------
+
+    def submit_job(
+        self,
+        job_id: str,
+        *,
+        client: str,
+        kind: str,
+        config_text: str,
+        config_hash: str,
+        run_dir: str,
+    ) -> None:
+        """Insert a fresh pending job (committed before the HTTP ack)."""
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO jobs(job_id, client, kind, config, config_hash,"
+                " status, submitted_at, run_dir)"
+                " VALUES(?,?,?,?,?,'pending',?,?)",
+                (job_id, client, kind, config_text, config_hash,
+                 time.time(), run_dir),
+            )
+
+    def find_cached(self, config_hash: str) -> "sqlite3.Row | None":
+        """Earliest ``done`` job with this config hash (the cache entry)."""
+        with self._connect() as conn:
+            return conn.execute(
+                "SELECT * FROM jobs WHERE config_hash=? AND status='done'"
+                " ORDER BY submitted_at, rowid LIMIT 1",
+                (config_hash,),
+            ).fetchone()
+
+    def find_active(self, config_hash: str) -> "sqlite3.Row | None":
+        """Earliest still-in-flight job with this hash (coalescing)."""
+        with self._connect() as conn:
+            return conn.execute(
+                "SELECT * FROM jobs WHERE config_hash=?"
+                " AND status IN ('pending', 'running')"
+                " ORDER BY submitted_at, rowid LIMIT 1",
+                (config_hash,),
+            ).fetchone()
+
+    # -- queue ---------------------------------------------------------
+
+    def next_pending(self, limit: int = 1) -> list["sqlite3.Row"]:
+        """Oldest pending jobs in FIFO (submission) order."""
+        with self._connect() as conn:
+            return conn.execute(
+                "SELECT * FROM jobs WHERE status='pending'"
+                " ORDER BY submitted_at, rowid LIMIT ?",
+                (limit,),
+            ).fetchall()
+
+    def mark_job_running(self, job_id: str) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET status='running', attempts=attempts+1,"
+                " started_at=? WHERE job_id=?",
+                (time.time(), job_id),
+            )
+
+    def mark_job_pending(self, job_id: str, error: str | None = None) -> None:
+        """Back to the queue (retry, or reset of an orphaned row)."""
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET status='pending', error=? WHERE job_id=?",
+                (error, job_id),
+            )
+
+    def finish_job(self, job_id: str, result_text: str, seconds: float,
+                   *, cached_from: str | None = None) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET status='done', result=?, seconds=?,"
+                " finished_at=?, error=NULL, cached_from=? WHERE job_id=?",
+                (result_text, seconds, time.time(), cached_from, job_id),
+            )
+
+    def fail_job(self, job_id: str, error: str, seconds: float = 0.0) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET status='failed', error=?, seconds=?,"
+                " finished_at=? WHERE job_id=?",
+                (error, seconds, time.time(), job_id),
+            )
+
+    def cancel_job(self, job_id: str) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE jobs SET status='cancelled', finished_at=?"
+                " WHERE job_id=?",
+                (time.time(), job_id),
+            )
+
+    def reset_orphaned(self) -> int:
+        """Restart entry point: ``running`` rows a dead daemon left behind
+        go back to pending.  Returns the number of rows reset."""
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET status='pending'"
+                " WHERE status='running'"
+            )
+            return cursor.rowcount
+
+    # -- inspection ----------------------------------------------------
+
+    def job(self, job_id: str) -> "sqlite3.Row | None":
+        with self._connect() as conn:
+            return conn.execute(
+                "SELECT * FROM jobs WHERE job_id=?", (job_id,)
+            ).fetchone()
+
+    def job_rows(
+        self,
+        *,
+        client: str | None = None,
+        status: str | None = None,
+        limit: int | None = None,
+    ) -> list["sqlite3.Row"]:
+        query = "SELECT * FROM jobs"
+        clauses, params = [], []
+        if client is not None:
+            clauses.append("client=?")
+            params.append(client)
+        if status is not None:
+            clauses.append("status=?")
+            params.append(status)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY submitted_at, rowid"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        with self._connect() as conn:
+            return conn.execute(query, params).fetchall()
+
+    def job_counts(self) -> dict[str, int]:
+        counts = {status: 0 for status in JOB_STATUSES}
+        with self._connect() as conn:
+            for row in conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ):
+                counts[row["status"]] = row["n"]
+        return counts
+
+
+def job_to_dict(row) -> dict:
+    """JSON-ready public view of a jobs row (result text elided)."""
+    return {
+        "job_id": row["job_id"],
+        "client": row["client"],
+        "kind": row["kind"],
+        "config": json.loads(row["config"]),
+        "config_hash": row["config_hash"],
+        "status": row["status"],
+        "cached_from": row["cached_from"],
+        "attempts": row["attempts"],
+        "submitted_at": row["submitted_at"],
+        "started_at": row["started_at"],
+        "finished_at": row["finished_at"],
+        "seconds": row["seconds"],
+        "error": row["error"],
+        "run_dir": row["run_dir"],
+    }

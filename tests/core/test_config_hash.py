@@ -1,0 +1,102 @@
+"""config_hash / job_hash stability: the result cache's cornerstone.
+
+The serve cache keys jobs by these hashes, so they must be invariant
+under client-side dict key order, under omitted-vs-explicit defaults,
+and across interpreter processes (PYTHONHASHSEED must not leak in).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import config_hash
+from repro.core.config import RunConfig
+from repro.serve.jobs import job_hash, normalize_config
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+run_config_overrides = st.fixed_dictionaries(
+    {},
+    optional={
+        "circuit": st.sampled_from(["tseng", "ex5p", "alu4"]),
+        "scale": st.floats(0.01, 0.2, allow_nan=False),
+        "seed": st.integers(0, 1000),
+        "place_effort": st.floats(0.01, 1.0, allow_nan=False),
+        "algorithm": st.sampled_from(["rt", "lex-3", "lex-mc", "none"]),
+        "effort": st.floats(0.1, 2.0, allow_nan=False),
+        "batch_sinks": st.integers(1, 8),
+        "route": st.booleans(),
+    },
+)
+
+
+class TestKeyOrderInvariance:
+    @given(overrides=run_config_overrides, shuffle=st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_config_hash_ignores_key_order(self, overrides, shuffle):
+        payload = {**RunConfig().to_dict(), **overrides}
+        keys = list(payload)
+        shuffle.shuffle(keys)
+        shuffled = {key: payload[key] for key in keys}
+        assert (config_hash(RunConfig.from_dict(payload))
+                == config_hash(RunConfig.from_dict(shuffled)))
+
+    @given(overrides=run_config_overrides, shuffle=st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_job_hash_ignores_key_order_and_defaults(
+        self, overrides, shuffle
+    ):
+        overrides.setdefault("circuit", "tseng")
+        keys = list(overrides)
+        shuffle.shuffle(keys)
+        shuffled = {key: overrides[key] for key in keys}
+        explicit = {**RunConfig().to_dict(), **overrides}
+        explicit.pop("blif")
+        kind = "place"
+        baseline = job_hash(kind, normalize_config(kind, overrides))
+        assert job_hash(kind, normalize_config(kind, shuffled)) == baseline
+        assert job_hash(kind, normalize_config(kind, explicit)) == baseline
+
+
+class TestCrossProcessStability:
+    def test_hashes_survive_different_hash_seeds(self, tmp_path):
+        """PYTHONHASHSEED randomizes dict/string hashing per process;
+        the config hashes must not depend on it."""
+        config = {"circuit": "tseng", "scale": 0.05, "seed": 3}
+        program = (
+            "import json, sys\n"
+            "from repro.core.checkpoint import config_hash\n"
+            "from repro.core.config import RunConfig\n"
+            "from repro.serve.jobs import job_hash, normalize_config\n"
+            "config = json.loads(sys.argv[1])\n"
+            "print(config_hash(RunConfig.from_dict("
+            "{**RunConfig().to_dict(), **config})))\n"
+            "print(job_hash('place', normalize_config('place', config)))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "1", "4242"):
+            result = subprocess.run(
+                [sys.executable, "-c", program, json.dumps(config)],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={
+                    "PYTHONPATH": str(SRC),
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            outputs.append(result.stdout.split())
+        assert outputs[0] == outputs[1] == outputs[2]
+        # and the in-process values agree with the subprocesses
+        in_process = [
+            config_hash(
+                RunConfig.from_dict({**RunConfig().to_dict(), **config})
+            ),
+            job_hash("place", normalize_config("place", config)),
+        ]
+        assert in_process == outputs[0]

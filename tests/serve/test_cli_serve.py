@@ -1,0 +1,128 @@
+"""`repro serve` / `repro submit` / `repro jobs` CLI subcommands."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_FAILURE, EXIT_USAGE, main as cli_main
+from repro.serve import DISCOVERY_FILE, ServeDaemon
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+SUBMIT_FLAGS = ["--kind", "place", "--circuit", "tseng",
+                "--scale", "0.02", "--seed", "1"]
+
+
+@pytest.fixture()
+def state_dir(tmp_path):
+    daemon = ServeDaemon(tmp_path, workers=1)
+    daemon.start_background()
+    try:
+        yield tmp_path
+    finally:
+        daemon.stop()
+
+
+class TestSubmitAndJobs:
+    def test_submit_wait_prints_result(self, capsys, state_dir):
+        code = cli_main(["submit", "--dir", str(state_dir),
+                         *SUBMIT_FLAGS, "--wait"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "submitted place-" in out
+        assert '"critical_delay"' in out
+
+    def test_submit_stream_prints_events(self, capsys, state_dir):
+        code = cli_main(["submit", "--dir", str(state_dir),
+                         *SUBMIT_FLAGS, "--stream"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines
+                 if line.startswith('{"')]
+        assert "start" in kinds and "result" in kinds
+
+    def test_submit_config_file_with_flag_overrides(
+        self, capsys, state_dir, tmp_path
+    ):
+        config_file = tmp_path / "job.json"
+        config_file.write_text(json.dumps(
+            {"circuit": "tseng", "scale": 0.02, "seed": 0}
+        ))
+        code = cli_main(["submit", "--dir", str(state_dir),
+                         "--kind", "place", "--config", str(config_file),
+                         "--seed", "2", "--wait"])
+        assert code == 0
+        assert '"critical_delay"' in capsys.readouterr().out
+
+    def test_bad_config_is_usage_error(self, capsys, state_dir):
+        code = cli_main(["submit", "--dir", str(state_dir),
+                         "--kind", "place", "--circuit", "tsneg"])
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown circuit" in err
+
+    def test_failed_job_exits_1_with_wait(self, capsys, state_dir, tmp_path):
+        code = cli_main(["submit", "--dir", str(state_dir),
+                         "--kind", "place",
+                         "--blif", str(tmp_path / "nope.blif"), "--wait"])
+        assert code == EXIT_FAILURE
+        assert "failed" in capsys.readouterr().err
+
+    def test_jobs_listing_and_inspection(self, capsys, state_dir):
+        assert cli_main(["submit", "--dir", str(state_dir),
+                         *SUBMIT_FLAGS, "--wait"]) == 0
+        capsys.readouterr()
+
+        assert cli_main(["jobs", "--dir", str(state_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert "done" in listing and "place-" in listing
+        job_id = listing.split()[0]
+
+        assert cli_main(["jobs", "--dir", str(state_dir), job_id]) == 0
+        detail = json.loads(capsys.readouterr().out)
+        assert detail["job_id"] == job_id
+        assert detail["status"] == "done"
+
+        assert cli_main(["jobs", "--dir", str(state_dir), job_id,
+                         "--result"]) == 0
+        assert '"critical_delay"' in capsys.readouterr().out
+
+
+class TestServeDaemonCli:
+    def test_sigterm_shutdown_writes_perf_json(self, tmp_path):
+        state_dir = tmp_path / "state"
+        perf_json = tmp_path / "perf.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(state_dir),
+             "--workers", "1", "--perf-json", str(perf_json)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not (state_dir / DISCOVERY_FILE).exists():
+                assert process.poll() is None
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            assert cli_main(["submit", "--dir", str(state_dir),
+                             *SUBMIT_FLAGS, "--wait"]) == 0
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        snapshot = json.loads(perf_json.read_text())
+        assert snapshot["counters"]["serve.jobs_submitted"] >= 1
+        assert snapshot["counters"]["serve.jobs_done"] >= 1

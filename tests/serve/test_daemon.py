@@ -1,0 +1,192 @@
+"""ServeDaemon + ServeClient end to end (in-process daemon)."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeClient, ServeDaemon, ServeError
+
+PLACE = {"circuit": "tseng", "scale": 0.02, "place_effort": 0.05}
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    instance = ServeDaemon(tmp_path, workers=2)
+    instance.start_background()
+    try:
+        yield instance
+    finally:
+        instance.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    return ServeClient(daemon.host, daemon.port)
+
+
+class TestLifecycle:
+    def test_health_and_status(self, daemon, client):
+        assert client.health()
+        status = client.status()
+        assert status["ok"]
+        assert status["workers"] == 2
+        assert status["jobs"]["pending"] == 0
+
+    def test_discovery_file_round_trip(self, daemon, tmp_path):
+        via_dir = ServeClient.from_dir(tmp_path)
+        assert via_dir.port == daemon.port
+        assert via_dir.health()
+
+    def test_place_job_end_to_end(self, daemon, client):
+        ack = client.submit("place", PLACE)
+        assert ack["status"] == "pending"
+        assert not ack["cached"]
+        job = client.wait(ack["job_id"], timeout=60)
+        assert job["status"] == "done"
+        result = client.result_json(job["job_id"])
+        assert result["kind"] == "place"
+        assert result["critical_delay"] > 0
+
+    def test_events_stream_reaches_result(self, daemon, client):
+        ack = client.submit("place", PLACE)
+        kinds = [event["kind"] for event in client.events(ack["job_id"])]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "result"
+
+
+class TestCache:
+    def test_identical_submission_served_byte_identical(
+        self, daemon, client
+    ):
+        first = client.submit("place", PLACE)
+        client.wait(first["job_id"], timeout=60)
+        original = client.result(first["job_id"])
+
+        again = client.submit(
+            "place", dict(reversed(list(PLACE.items())))
+        )
+        assert again["cached"]
+        assert again["job_id"] == first["job_id"]
+        assert client.result(again["job_id"]) == original
+
+    def test_no_cache_forces_fresh_run(self, daemon, client):
+        first = client.submit("place", PLACE)
+        client.wait(first["job_id"], timeout=60)
+        fresh = client.submit("place", PLACE, cache=False)
+        assert not fresh.get("cached")
+        assert fresh["job_id"] != first["job_id"]
+        client.wait(fresh["job_id"], timeout=60)
+
+    def test_inflight_duplicates_coalesce(self, daemon, client):
+        first = client.submit("place", PLACE)
+        duplicate = client.submit("place", PLACE)
+        assert duplicate["job_id"] == first["job_id"]
+        assert duplicate.get("cached") or duplicate.get("coalesced")
+        client.wait(first["job_id"], timeout=60)
+
+    def test_metrics_in_status(self, daemon, client):
+        ack = client.submit("place", PLACE)
+        client.wait(ack["job_id"], timeout=60)
+        client.submit("place", PLACE)
+        perf = client.status()["perf"]
+        assert perf["counters"]["serve.jobs_submitted"] >= 2
+        assert perf["counters"]["serve.cache_hits"] >= 1
+        assert perf["maxes"]["serve.queue_depth"] >= 1
+        assert "serve.job_seconds" in perf["timers"]
+
+
+class TestErrors:
+    def test_bad_submissions_get_400(self, client):
+        for kind, config, fragment in (
+            ("frobnicate", PLACE, "unknown job kind"),
+            ("place", {"circuit": "tsneg"}, "unknown circuit"),
+            ("place", {**PLACE, "typo": 1}, "unknown config key"),
+            ("place", {}, "exactly one"),
+        ):
+            with pytest.raises(ServeError, match=fragment) as excinfo:
+                client.submit(kind, config)
+            assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.job("place-doesnotexist")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            client.result("place-doesnotexist")
+        assert excinfo.value.status == 404
+
+    def test_result_of_unfinished_job_is_404(self, daemon, client):
+        ack = client.submit("place", {**PLACE, "seed": 9})
+        try:
+            client.result(ack["job_id"])
+        except ServeError as exc:
+            assert exc.status == 404
+        client.wait(ack["job_id"], timeout=60)
+
+    def test_failed_job_reports_error(self, tmp_path, daemon, client):
+        config = {"blif": str(tmp_path / "nope.blif")}
+        ack = client.submit("place", config)
+        job = client.wait(ack["job_id"], timeout=60, raise_on_failure=False)
+        assert job["status"] == "failed"
+        assert "FileNotFoundError" in job["error"]
+        # PERF is process-global, so earlier in-process daemons may have
+        # contributed failures too — assert the floor, not equality.
+        perf = client.status()["perf"]
+        assert perf["counters"]["serve.jobs_failed"] >= 1
+
+    def test_cancel_pending_job(self, daemon, client):
+        # saturate both workers so a third job stays pending
+        blockers = [
+            client.submit("place", {**PLACE, "seed": 100 + index})
+            for index in range(2)
+        ]
+        victim = client.submit("place", {**PLACE, "seed": 999})
+        ack = client.cancel(victim["job_id"])
+        assert ack["status"] == "cancelled"
+        with pytest.raises(ServeError) as excinfo:
+            client.cancel(victim["job_id"])
+        assert excinfo.value.status == 409
+        for blocker in blockers:
+            client.wait(blocker["job_id"], timeout=60)
+
+
+class TestClientListing:
+    def test_jobs_filterable_by_client_token(self, daemon, client):
+        mine = client.submit("place", PLACE, client="alice")
+        client.submit(
+            "place", {**PLACE, "seed": 5}, client="bob"
+        )
+        rows = client.jobs(client="alice")
+        assert [row["job_id"] for row in rows] == [mine["job_id"]]
+        assert all(row["client"] == "alice" for row in rows)
+        everyone = client.jobs()
+        assert len(everyone) == 2
+        for ack in (row["job_id"] for row in everyone):
+            client.wait(ack, timeout=60)
+
+
+class TestRestartRecovery:
+    def test_orphaned_jobs_survive_a_daemon_restart(self, tmp_path):
+        first = ServeDaemon(tmp_path, workers=1)
+        first.start_background()
+        try:
+            client = ServeClient(first.host, first.port)
+            acks = [
+                client.submit("place", {**PLACE, "seed": index})
+                for index in range(3)
+            ]
+        finally:
+            first.stop()
+
+        second = ServeDaemon(tmp_path, workers=2)
+        second.start_background()
+        try:
+            client = ServeClient(second.host, second.port)
+            for ack in acks:
+                job = client.wait(ack["job_id"], timeout=60)
+                assert job["status"] == "done"
+            counts = client.status()["jobs"]
+            assert counts["done"] == 3
+            assert counts["pending"] == counts["running"] == 0
+        finally:
+            second.stop()

@@ -1,0 +1,143 @@
+"""Soak: hundreds of concurrent jobs + a mid-load ``kill -9`` of the
+daemon + restart => every acknowledged job completes exactly once, and
+identical resubmissions are served from the cache byte-identically."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.serve import DISCOVERY_FILE, ServeClient
+from repro.serve.jobs import job_hash, normalize_config
+
+N_JOBS = 200
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+def job_config(seed: int) -> dict:
+    return {
+        "circuit": "tseng",
+        "scale": 0.02,
+        "place_effort": 0.05,
+        "seed": seed,
+    }
+
+
+def start_daemon(state_dir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(state_dir),
+         "--workers", "2"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60
+    discovery = state_dir / DISCOVERY_FILE
+    while time.monotonic() < deadline:
+        assert process.poll() is None, "daemon exited during startup"
+        try:
+            payload = json.loads(discovery.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            payload = None
+        # a stale serve.json from a killed daemon names the old pid
+        if payload and payload["pid"] == process.pid:
+            client = ServeClient(payload["host"], payload["port"])
+            if client.health():
+                return process
+        time.sleep(0.05)
+    raise AssertionError("daemon did not come up within 60s")
+
+
+def drain(client: ServeClient, timeout: float = 420.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        counts = client.status()["jobs"]
+        if counts["pending"] == 0 and counts["running"] == 0:
+            return counts
+        time.sleep(0.25)
+    raise AssertionError(f"queue did not drain within {timeout:g}s: {counts}")
+
+
+def test_soak_kill9_restart_exactly_once(tmp_path):
+    state_dir = tmp_path / "state"
+    state_dir.mkdir()
+    process = start_daemon(state_dir)
+    try:
+        client = ServeClient.from_dir(state_dir)
+
+        # Phase 1: flood the queue from 16 submitter threads.
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            acks = list(pool.map(
+                lambda seed: client.submit("place", job_config(seed)),
+                range(N_JOBS),
+            ))
+        acked_ids = {ack["job_id"] for ack in acks}
+        assert len(acked_ids) == N_JOBS  # distinct configs, distinct jobs
+
+        # Phase 2: kill -9 mid-load — some jobs done, most still queued.
+        while client.status()["jobs"]["done"] < 20:
+            time.sleep(0.1)
+        counts = client.status()["jobs"]
+        assert counts["done"] < N_JOBS, "daemon finished before the kill"
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+        assert not client.health()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    # Phase 3: restart over the same state directory and resubmit
+    # everything (client-side retry of the whole batch).  Coalescing
+    # must pin each config to its original job id — no duplicates.
+    process = start_daemon(state_dir)
+    try:
+        client = ServeClient.from_dir(state_dir)
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            again = list(pool.map(
+                lambda seed: client.submit("place", job_config(seed)),
+                range(N_JOBS),
+            ))
+        assert {ack["job_id"] for ack in again} == acked_ids
+
+        counts = drain(client)
+        assert counts["done"] == N_JOBS
+        assert counts["failed"] == counts["cancelled"] == 0
+
+        # Exactly once: one row per config hash, every row done.
+        rows = client.jobs(limit=N_JOBS * 2)
+        assert len(rows) == N_JOBS
+        expected_hashes = {
+            job_hash("place", normalize_config("place", job_config(seed)))
+            for seed in range(N_JOBS)
+        }
+        assert {row["config_hash"] for row in rows} == expected_hashes
+        assert all(row["status"] == "done" for row in rows)
+        assert {row["job_id"] for row in rows} == acked_ids
+
+        # Cache byte-identity across the kill: identical submissions
+        # return the original job id and the stored bytes verbatim.
+        for seed in (0, 7, N_JOBS - 1):
+            first = client.submit("place", job_config(seed))
+            assert first["cached"], seed
+            original = client.result(first["job_id"])
+            second = client.submit(
+                "place", dict(reversed(list(job_config(seed).items())))
+            )
+            assert second["job_id"] == first["job_id"]
+            assert client.result(second["job_id"]) == original
+            assert json.loads(original.decode())["kind"] == "place"
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=30)

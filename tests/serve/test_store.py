@@ -1,0 +1,131 @@
+"""JobStore: queue semantics, cache lookups, orphan recovery."""
+
+from repro.serve.store import JobStore, job_to_dict, new_job_id
+
+
+def make_store(tmp_path):
+    return JobStore.in_dir(tmp_path)
+
+
+def submit(store, job_id, *, kind="place", config_hash="h0",
+           client="anon"):
+    store.submit_job(
+        job_id,
+        client=client,
+        kind=kind,
+        config_text="{}",
+        config_hash=config_hash,
+        run_dir=f"jobs/{job_id}",
+    )
+
+
+class TestQueue:
+    def test_fifo_order(self, tmp_path):
+        store = make_store(tmp_path)
+        for index in range(3):
+            submit(store, f"place-{index}", config_hash=f"h{index}")
+        rows = store.next_pending(limit=10)
+        assert [row["job_id"] for row in rows] == [
+            "place-0", "place-1", "place-2"
+        ]
+
+    def test_running_rows_leave_the_queue(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a")
+        store.mark_job_running("place-a")
+        assert store.next_pending() == []
+        assert store.job("place-a")["attempts"] == 1
+
+    def test_lifecycle_to_done(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a")
+        store.mark_job_running("place-a")
+        store.finish_job("place-a", '{"ok": true}\n', 1.5)
+        row = store.job("place-a")
+        assert row["status"] == "done"
+        assert row["result"] == '{"ok": true}\n'
+        assert row["finished_at"] is not None
+        assert store.job_counts()["done"] == 1
+
+    def test_failure_and_requeue(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a")
+        store.mark_job_running("place-a")
+        store.mark_job_pending("place-a", error="boom")
+        row = store.job("place-a")
+        assert row["status"] == "pending"
+        assert row["error"] == "boom"
+        store.mark_job_running("place-a")
+        assert store.job("place-a")["attempts"] == 2
+        store.fail_job("place-a", "boom again", 0.1)
+        assert store.job("place-a")["status"] == "failed"
+
+
+class TestCacheLookups:
+    def test_find_cached_returns_earliest_done(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.find_cached("h0") is None
+        submit(store, "place-a", config_hash="h0")
+        submit(store, "place-b", config_hash="h0")
+        store.finish_job("place-b", "b\n", 1.0)
+        store.finish_job("place-a", "a\n", 1.0)
+        assert store.find_cached("h0")["job_id"] == "place-a"
+        assert store.find_cached("other") is None
+
+    def test_find_active_sees_pending_and_running_only(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a", config_hash="h0")
+        assert store.find_active("h0")["job_id"] == "place-a"
+        store.mark_job_running("place-a")
+        assert store.find_active("h0")["job_id"] == "place-a"
+        store.finish_job("place-a", "a\n", 1.0)
+        assert store.find_active("h0") is None
+
+
+class TestOrphanRecovery:
+    def test_reset_orphaned_requeues_running_rows(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a")
+        submit(store, "place-b", config_hash="h1")
+        store.mark_job_running("place-a")
+        assert store.reset_orphaned() == 1
+        statuses = {row["job_id"]: row["status"]
+                    for row in store.job_rows()}
+        assert statuses == {"place-a": "pending", "place-b": "pending"}
+        # a second reset is a no-op
+        assert store.reset_orphaned() == 0
+
+    def test_reopen_preserves_rows(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a")
+        again = JobStore.in_dir(tmp_path)
+        assert again.job("place-a")["status"] == "pending"
+
+
+class TestInspection:
+    def test_job_rows_filters(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a", client="alice")
+        submit(store, "place-b", client="bob", config_hash="h1")
+        store.mark_job_running("place-b")
+        assert [row["job_id"] for row in store.job_rows(client="alice")] == [
+            "place-a"
+        ]
+        assert [row["job_id"] for row in store.job_rows(status="running")] == [
+            "place-b"
+        ]
+        assert len(store.job_rows(limit=1)) == 1
+
+    def test_job_to_dict_elides_result_text(self, tmp_path):
+        store = make_store(tmp_path)
+        submit(store, "place-a")
+        store.finish_job("place-a", '{"big": "payload"}\n', 1.0)
+        view = job_to_dict(store.job("place-a"))
+        assert view["status"] == "done"
+        assert "result" not in view
+        assert view["config"] == {}
+
+    def test_new_job_id_is_prefixed_and_unique(self):
+        first, second = new_job_id("route"), new_job_id("route")
+        assert first.startswith("route-")
+        assert first != second

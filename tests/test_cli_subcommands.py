@@ -2,9 +2,12 @@
 
 import json
 
-import pytest
-
-from repro.cli import LEGACY_NOTICE, main as cli_main
+from repro.cli import (
+    EXIT_MISSING,
+    EXIT_USAGE,
+    LEGACY_NOTICE,
+    main as cli_main,
+)
 
 RUN_FLAGS = [
     "--circuit", "tseng", "--scale", "0.03", "--effort", "0.2",
@@ -37,9 +40,12 @@ class TestRun:
         assert code == 0
         assert json.loads(trace_file.read_text())["traceEvents"]
 
-    def test_checkpoint_without_run_dir_fails(self, tmp_path):
-        with pytest.raises(ValueError):
-            cli_main(["run", *RUN_FLAGS, "--checkpoint-every", "2"])
+    def test_checkpoint_without_run_dir_fails(self, capsys, tmp_path):
+        code = cli_main(["run", *RUN_FLAGS, "--checkpoint-every", "2"])
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, no traceback
+        assert "--run-dir" in err
 
 
 class TestResume:
@@ -56,7 +62,7 @@ class TestResume:
 
     def test_resume_missing_checkpoint_errors(self, capsys, tmp_path):
         code = cli_main(["resume", str(tmp_path)])
-        assert code == 1
+        assert code == EXIT_MISSING
         assert "no checkpoint" in capsys.readouterr().err
 
 
@@ -75,8 +81,48 @@ class TestTraceView:
 
     def test_unreadable_file_errors(self, capsys, tmp_path):
         code = cli_main(["trace-view", str(tmp_path / "missing.json")])
-        assert code == 1
+        assert code == EXIT_MISSING
         assert "trace-view" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    """User errors exit with distinct codes and one stderr line each."""
+
+    def test_missing_blif_exits_3(self, capsys, tmp_path):
+        code = cli_main(["run", "--blif", str(tmp_path / "nope.blif")])
+        assert code == EXIT_MISSING
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "nope.blif" in err
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        code = cli_main(["run", *RUN_FLAGS, "--algorithm", "bogus"])
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "bogus" in err
+
+    def test_submit_without_daemon_exits_3(self, capsys, tmp_path):
+        code = cli_main(["submit", "--dir", str(tmp_path),
+                         "--kind", "place", "--circuit", "tseng"])
+        assert code == EXIT_MISSING
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "serve.json" in err
+
+    def test_jobs_flag_combos_rejected(self, capsys, tmp_path):
+        import json as _json
+
+        (tmp_path / "serve.json").write_text(_json.dumps(
+            {"host": "127.0.0.1", "port": 1}
+        ))
+        code = cli_main(["jobs", "--dir", str(tmp_path),
+                         "--result", "--cancel", "x"])
+        assert code == EXIT_USAGE
+        assert "mutually exclusive" in capsys.readouterr().err
+        code = cli_main(["jobs", "--dir", str(tmp_path), "--result"])
+        assert code == EXIT_USAGE
+        assert "job id" in capsys.readouterr().err
 
 
 class TestBenchForwarding:
